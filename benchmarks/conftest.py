@@ -1,0 +1,19 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables/figures in quick
+mode (smaller sweeps, fewer requests) and asserts the *shape* of the
+result — who wins, by roughly what factor, where the knees are. Run
+with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an expensive experiment exactly once under the benchmark timer."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,55 @@
+"""Bench: ablations of the SmartDS design choices (DESIGN.md §5)."""
+
+from repro.experiments import ablations
+
+
+def test_split_ablation_quantifies_aams(once):
+    rows = once(ablations.split_ablation, quick=True)
+    by_label = {row[0]: row for row in rows}
+    smartds = by_label["AAMS split (SmartDS-1)"]
+    no_split = by_label["no split (Acc)"]
+    # Same engine, same throughput class...
+    assert abs(smartds[1] - no_split[1]) / no_split[1] < 0.15
+    # ...but the split removes host memory traffic entirely and cuts
+    # per-Gb/s PCIe traffic by more than an order of magnitude.
+    assert smartds[2] < 1.0 and no_split[2] > 50
+    assert no_split[5] > 10 * smartds[5]
+
+
+def test_recv_window_pipelines_the_split(once):
+    rows = once(ablations.recv_window_ablation, quick=True)
+    tput = {window: throughput for window, throughput, _avg in rows}
+    # One descriptor serializes the split; a handful restores the peak.
+    assert tput[1] < 0.5 * tput[64]
+    assert tput[4] > 0.9 * tput[64]
+
+
+def test_engine_latency_decoupled_from_throughput(once):
+    rows = once(ablations.engine_latency_ablation, quick=True)
+    tputs = [row[1] for row in rows]
+    latencies = {row[0]: row[2] for row in rows}
+    # Pipelining: deeper engines do not cost throughput...
+    assert max(tputs) / min(tputs) < 1.05
+    # ...but they do cost unloaded latency, roughly the added depth.
+    assert latencies[18] - latencies[1] > 10
+
+
+def test_compressibility_moves_the_bottleneck(once):
+    rows = once(ablations.compressibility_ablation, quick=True)
+    tput = {ratio: throughput for ratio, throughput in rows}
+    # Incompressible blocks triple on egress: throughput ~ port/3 x ratio.
+    assert tput[1.0] < tput[2.1] < tput[4.0]
+    assert tput[1.0] < 50  # egress-bound at 3x amplification
+
+
+def test_replication_factor_trades_throughput(once):
+    rows = once(ablations.replication_ablation, quick=True)
+    tput = {replicas: throughput for replicas, throughput in rows}
+    assert tput[1] > tput[3]
+
+
+def test_compression_bypass_costs_egress(once):
+    rows = once(ablations.latency_sensitive_ablation, quick=True)
+    tput = {fraction: throughput for fraction, throughput, _avg in rows}
+    # Bypassing compression sends 3x raw bytes: saturated throughput drops.
+    assert tput[1.0] < 0.75 * tput[0.0]

@@ -1,0 +1,25 @@
+"""Bench: extension — the read path (§2.2.2) across designs."""
+
+from repro.experiments import ext_read_path
+
+
+def test_read_path_across_designs(once):
+    result = once(ext_read_path.run, quick=True)
+    print("\n" + result.render())
+    data = result.data
+
+    # Everyone serves every read.
+    for design, stats in data.items():
+        assert stats["requests"] > 0, design
+        assert stats["avg_us"] > 0, design
+
+    # The device designs keep read payloads out of host DRAM; the
+    # CPU-only tier streams every block through it.
+    assert data["SmartDS-1"]["memory_bytes_during_reads"] == 0
+    assert data["BF2"]["memory_bytes_during_reads"] == 0
+    assert data["CPU-only"]["memory_bytes_during_reads"] > 0
+
+    # Read latencies are all in the same order of magnitude: the storage
+    # round trip dominates, decompression location shifts tens of us.
+    latencies = [stats["avg_us"] for stats in data.values()]
+    assert max(latencies) / min(latencies) < 2.0

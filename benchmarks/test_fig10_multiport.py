@@ -1,0 +1,21 @@
+"""Bench: Fig. 10 — linear scaling across networking ports."""
+
+from repro.experiments import fig10_multiport
+
+
+def test_fig10_linear_port_scaling(once):
+    result = once(fig10_multiport.run, quick=True)
+    print("\n" + result.render())
+    scaling = result.data["scaling_vs_one_port"]
+    # Throughput scales linearly in the number of ports (within 5 %).
+    for ports, factor in scaling.items():
+        assert abs(factor - ports) / ports < 0.05, (ports, factor)
+
+    # Latency stays flat as ports are added...
+    measurements = result.data["measurements"]
+    latencies = [m.avg_latency_us for _ports, m in measurements]
+    assert max(latencies) / min(latencies) < 1.1
+    # ...and the host stays out of the datapath at every port count.
+    for _ports, m in measurements:
+        assert m.memory_read_gbps + m.memory_write_gbps < 0.5
+        assert sum(m.pcie_gbps.values()) < 0.1 * m.throughput_gbps

@@ -1,0 +1,20 @@
+"""Bench: Fig. 4 — RDMA throughput under MLC memory pressure."""
+
+from repro.experiments import fig4_memory_interference
+
+
+def test_fig4_rdma_collapse(once):
+    result = once(fig4_memory_interference.run, quick=False)
+    print("\n" + result.render())
+    # Paper: uncontended RDMA forwarding is near line rate...
+    assert result.data["baseline_rdma_gbps"] > 80
+    # ...and collapses to ~46 % at maximum pressure.
+    assert 0.3 < result.data["min_fraction"] < 0.6
+    # The decline is monotone in pressure (delays sorted descending).
+    fractions = [
+        rdma / result.data["baseline_rdma_gbps"] for rdma in result.data["series"].y
+    ]
+    assert all(b <= a + 0.02 for a, b in zip(fractions, fractions[1:]))
+    # MLC's own achieved bandwidth grows as its delay shrinks.
+    mlc = result.data["mlc_series"].y
+    assert mlc[-1] > mlc[0]

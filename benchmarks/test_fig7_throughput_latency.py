@@ -1,0 +1,32 @@
+"""Bench: Fig. 7 — throughput and latency of every middle-tier design."""
+
+from repro.experiments import fig7_throughput_latency
+
+
+def test_fig7_throughput_and_latency(once):
+    result = once(fig7_throughput_latency.run, quick=True)
+    print("\n" + result.render())
+    measurements = result.data["measurements"]
+    peaks = result.data["peaks_gbps"]
+
+    # SmartDS-1 and Acc reach their peak with two threads...
+    for design in ("SmartDS-1", "Acc"):
+        two_threads = next(m for m in measurements[design] if m.n_workers == 2)
+        assert two_threads.throughput_gbps > 0.9 * peaks[design], design
+    # ...while CPU-only needs nearly all 48 logical cores for the same level.
+    cpu = {m.n_workers: m.throughput_gbps for m in measurements["CPU-only"]}
+    assert cpu[48] > 0.85 * peaks["SmartDS-1"]
+    assert cpu[8] < 0.5 * peaks["SmartDS-1"]
+    # Fewer cores -> strictly less CPU-only throughput (compression-bound).
+    cores_sorted = sorted(cpu)
+    assert all(cpu[a] < cpu[b] for a, b in zip(cores_sorted, cores_sorted[1:]))
+    # BF2 is capped by its ~40 Gb/s compression engine.
+    assert peaks["BF2"] < 45
+
+    # Latency when not overloaded (Fig. 7b-d): Acc highest, BF2 lowest,
+    # SmartDS-1 within ~25 % of CPU-only.
+    light = result.data["unloaded_latency"]
+    avg = {design: m.avg_latency_us for design, m in light.items()}
+    assert avg["Acc"] == max(avg.values())
+    assert avg["BF2"] == min(avg.values())
+    assert abs(avg["SmartDS-1"] - avg["CPU-only"]) / avg["CPU-only"] < 0.25

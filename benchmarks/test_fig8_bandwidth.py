@@ -1,0 +1,32 @@
+"""Bench: Fig. 8 — host memory and PCIe bandwidth occupation."""
+
+from repro.experiments import fig8_bandwidth
+
+
+def test_fig8_memory_and_pcie(once):
+    result = once(fig8_bandwidth.run, quick=True)
+    print("\n" + result.render())
+    measurements = result.data["measurements"]
+
+    def peak(design):
+        return max(measurements[design], key=lambda m: m.throughput_gbps)
+
+    cpu = peak("CPU-only")
+    acc = peak("Acc")
+    acc_noddio = peak("Acc w/o DDIO")
+    smartds = peak("SmartDS-1")
+
+    # CPU-only: memory reads and writes both substantial (same order).
+    assert cpu.memory_read_gbps > 20 and cpu.memory_write_gbps > 20
+    # Acc w/ DDIO: writes grow, reads vanish (the LLC serves the FPGA).
+    assert acc.memory_write_gbps > 20
+    assert acc.memory_read_gbps < 1
+    # Turning DDIO off makes the reads reappear.
+    assert acc_noddio.memory_read_gbps > 20
+    # Acc uses two PCIe devices, roughly doubling interconnect traffic.
+    assert sum(acc.pcie_gbps.values()) > 1.5 * sum(cpu.pcie_gbps.values()) * (
+        acc.throughput_gbps / cpu.throughput_gbps
+    )
+    # SmartDS: host memory untouched, PCIe carries only headers/completions.
+    assert smartds.memory_read_gbps + smartds.memory_write_gbps < 0.5
+    assert sum(smartds.pcie_gbps.values()) < 0.1 * smartds.throughput_gbps

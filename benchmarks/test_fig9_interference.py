@@ -1,0 +1,31 @@
+"""Bench: Fig. 9 — performance isolation under memory pressure."""
+
+from repro.experiments import fig9_interference
+
+
+def test_fig9_isolation(once):
+    result = once(fig9_interference.run, quick=True)
+    print("\n" + result.render())
+    retained = result.data["retained_fraction"]
+
+    # SmartDS-1 "hardly changes" under maximum memory pressure...
+    assert retained["SmartDS-1"] > 0.95
+    # ...while the host-memory designs lose a large share of throughput.
+    assert retained["CPU-only"] < 0.7
+    assert retained["Acc"] < 0.8
+
+    # Next to SmartDS the MLC injector itself achieves *more* bandwidth
+    # than next to the host-memory designs (Fig. 9a's second axis).
+    def max_pressure_mlc(design):
+        series = result.data["measurements"][design]
+        return max(m.mlc_gbps for _delay, m in series)
+
+    assert max_pressure_mlc("SmartDS-1") > max_pressure_mlc("CPU-only")
+
+    # Latency isolation too: SmartDS p99 moves by <5 %, CPU-only's blows up.
+    def p99_span(design):
+        series = [m.p99_latency_us for _d, m in result.data["measurements"][design]]
+        return max(series) / min(series)
+
+    assert p99_span("SmartDS-1") < 1.05
+    assert p99_span("CPU-only") > 1.5

@@ -1,0 +1,28 @@
+"""Bench: §5.5 — multiple SmartNICs per server."""
+
+from repro.experiments import sec55_multi_nic
+
+
+def test_sec55_server_scale_up(once):
+    result = once(sec55_multi_nic.run, quick=True)
+    print("\n" + result.render())
+    full = result.data["full_server"]
+
+    # Paper: 8 cards -> ~2.8 Tb/s. Our simulated cards land in the same
+    # regime (>2 Tb/s).
+    assert full.cards == 8
+    assert full.throughput_gbps > 2000
+
+    # The multiplier over a CPU-only middle tier is tens of times
+    # (paper: 51.6x; ours differs mainly through the CPU-only peak).
+    assert full.speedup_vs_cpu_only > 25
+
+    # Host memory stays far below the theoretical 1228 Gb/s...
+    assert full.host_memory_gbps < 400
+    # ...and per-switch PCIe at worst grazes the root-port budget rather
+    # than dwarfing it the way the payloads (2.8 Tb/s) would.
+    assert full.pcie_per_switch_gbps < 2 * sec55_multi_nic.SWITCH_ROOT_GBPS
+
+    # Throughput grows monotonically with card count.
+    tputs = [p.throughput_gbps for p in result.data["points"]]
+    assert all(b >= a for a, b in zip(tputs, tputs[1:]))

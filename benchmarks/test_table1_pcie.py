@@ -1,0 +1,20 @@
+"""Bench: Table 1 — PCIe latency under load."""
+
+from repro.experiments import table1_pcie
+
+
+def test_table1_pcie_latency(once):
+    result = once(table1_pcie.run, quick=True)
+    print("\n" + result.render())
+    idle = result.data["under_loaded"]
+    busy = result.data["heavily_loaded"]
+    # Paper shape: ~1.4 us unloaded in both directions...
+    assert 0.5 < idle["h2d_us"] < 3.0
+    assert 0.5 < idle["d2h_us"] < 3.0
+    # ...and a multiple-x blow-up when the link is heavily loaded.
+    assert busy["h2d_us"] > 3 * idle["h2d_us"]
+    assert busy["d2h_us"] > 3 * idle["d2h_us"]
+    # The blow-up lands in the same order of magnitude the paper reports
+    # (11.3 / 6.6 us), not in the milliseconds.
+    assert busy["h2d_us"] < 40
+    assert busy["d2h_us"] < 40

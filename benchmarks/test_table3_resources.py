@@ -1,0 +1,24 @@
+"""Bench: Table 3 — FPGA resource consumption (exact reproduction)."""
+
+from repro.experiments import table3_resources
+
+#: The published Table 3 rows: name -> (kLUTs, kRegs, BRAMs).
+PAPER_ROWS = {
+    "Acc": (112, 109, 172),
+    "SmartDS-1": (157, 143, 292),
+    "SmartDS-2": (313, 285, 584),
+    "SmartDS-4": (627, 571, 1168),
+    "SmartDS-6": (941, 857, 1752),
+}
+
+
+def test_table3_resources(once):
+    result = once(table3_resources.run)
+    print("\n" + result.render())
+    for name, (luts, regs, brams) in PAPER_ROWS.items():
+        row = result.data[name]
+        assert row["luts_k"] == luts, name
+        assert row["regs_k"] == regs, name
+        assert row["brams"] == brams, name
+    # SmartDS-6 fills most of the chip but still fits (86.9 % of BRAM).
+    assert 0.8 < result.data["SmartDS-6"]["utilization"]["brams"] < 1.0

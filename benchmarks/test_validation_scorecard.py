@@ -1,0 +1,10 @@
+"""Bench: the full paper-claim scorecard must stay green."""
+
+from repro.experiments import validation
+
+
+def test_all_claims_reproduced(once):
+    result = once(validation.run, quick=True)
+    print("\n" + result.render())
+    assert result.data["passed"] == result.data["total"]
+    assert result.data["total"] >= 16

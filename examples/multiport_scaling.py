@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""SmartDS multi-port linear scaling (the Fig. 10 / §5.5 story).
+
+Instantiates SmartDS with 1, 2, and 4 networking ports (one client and
+one compression engine per port), measures aggregate throughput and
+latency, and then extrapolates a full 4U server with up to 8 six-port
+cards using the §5.5 water-filling estimator.
+
+Run:  python examples/multiport_scaling.py
+"""
+
+from repro.experiments.common import measure_design
+from repro.experiments.sec55_multi_nic import estimate
+from repro.params import DEFAULT_PLATFORM
+from repro.telemetry.reporting import format_table
+
+
+def main():
+    rows = []
+    base = None
+    per_card_inputs = None
+    for ports in (1, 2, 4):
+        m = measure_design(
+            f"SmartDS-{ports}",
+            n_workers=0,  # two host cores per port, the paper's rule
+            n_requests=2000 * ports,
+            concurrency=192,
+        )
+        if base is None:
+            base = m.throughput_gbps
+        if ports == 4:
+            per_card_inputs = m
+        rows.append(
+            [
+                ports,
+                round(m.throughput_gbps, 1),
+                f"{m.throughput_gbps / base:.2f}x",
+                round(m.avg_latency_us, 1),
+                round(m.p99_latency_us, 1),
+                round(m.memory_read_gbps + m.memory_write_gbps, 2),
+                round(sum(m.pcie_gbps.values()), 1),
+            ]
+        )
+        print(f"measured SmartDS-{ports}")
+    print()
+    print(
+        format_table(
+            [
+                "ports",
+                "tput (Gb/s)",
+                "scaling",
+                "avg (us)",
+                "p99 (us)",
+                "host mem (Gb/s)",
+                "PCIe (Gb/s)",
+            ],
+            rows,
+            title="One card, growing port count (Fig. 10)",
+        )
+    )
+
+    # Extrapolate the multi-card server of §5.5 from the 4-port card.
+    scale = 6 / 4
+    points = estimate(
+        per_card_gbps=per_card_inputs.throughput_gbps * scale,
+        per_card_memory_gbps=(
+            per_card_inputs.memory_read_gbps + per_card_inputs.memory_write_gbps
+        )
+        * scale,
+        per_card_pcie_gbps=sum(per_card_inputs.pcie_gbps.values()) * scale,
+        cpu_only_peak_gbps=54.0,  # measured CPU-only peak, Fig. 7
+        platform=DEFAULT_PLATFORM,
+    )
+    print()
+    print(
+        format_table(
+            ["cards", "tput (Gb/s)", "x CPU-only tier"],
+            [[p.cards, round(p.throughput_gbps), round(p.speedup_vs_cpu_only, 1)] for p in points],
+            title="Whole 4U server, SmartDS-6 cards (§5.5 estimate)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

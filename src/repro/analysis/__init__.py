@@ -1,0 +1,19 @@
+"""Fleet-level analysis: middle-tier sizing and infrastructure cost.
+
+The paper's bottom line (§1, §5.5) is economic: a SmartDS-equipped
+server replaces ~51.6 CPU-based middle-tier servers, and clouds run
+"over 100,000" of those. :mod:`repro.analysis.tco` turns measured
+per-server throughput into fleet sizes and relative cost.
+"""
+
+from repro.analysis.power import PowerProfile, efficiency_table, watts_per_gbps
+from repro.analysis.tco import FleetPlan, ServerCost, plan_fleet
+
+__all__ = [
+    "FleetPlan",
+    "PowerProfile",
+    "ServerCost",
+    "efficiency_table",
+    "plan_fleet",
+    "watts_per_gbps",
+]

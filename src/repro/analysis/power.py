@@ -1,0 +1,64 @@
+"""Power and energy-efficiency model of the middle-tier designs.
+
+§3.3 notes that SmartNIC-based middle tiers have "lower active power"
+than conventional servers. This module carries per-design power models
+(host plus attached devices, active vs idle shares by utilization) and
+reports the figure clouds actually optimise: watts per Gb/s served.
+
+Numbers are representative datasheet/board values, parameterised so a
+deployment can substitute its own.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class PowerProfile:
+    """Idle/active power of one middle-tier server configuration."""
+
+    name: str
+    host_idle_watts: float
+    host_active_watts: float  # host at full middle-tier load
+    device_watts: float = 0.0  # NIC / FPGA / SmartNIC cards, active
+
+    def power_at(self, utilization: float) -> float:
+        """Total watts at a given utilization (0..1), linear host model."""
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError(f"utilization must be in [0, 1], got {utilization!r}")
+        host = self.host_idle_watts + utilization * (
+            self.host_active_watts - self.host_idle_watts
+        )
+        return host + self.device_watts
+
+
+#: Representative configurations. The CPU-only tier burns all 48 threads
+#: on LZ4; SmartDS idles the host (2 cores/port) and adds an FPGA card
+#: (~60 W for a VCU128-class board); BF2 is a 75 W SoC card on a host
+#: that mostly sleeps.
+PROFILES: dict[str, PowerProfile] = {
+    "CPU-only": PowerProfile("CPU-only", host_idle_watts=120, host_active_watts=420, device_watts=25),
+    "Acc": PowerProfile("Acc", host_idle_watts=120, host_active_watts=200, device_watts=25 + 60),
+    "BF2": PowerProfile("BF2", host_idle_watts=120, host_active_watts=130, device_watts=75),
+    "SmartDS-1": PowerProfile("SmartDS-1", host_idle_watts=120, host_active_watts=150, device_watts=60),
+    "SmartDS-6": PowerProfile("SmartDS-6", host_idle_watts=120, host_active_watts=220, device_watts=60),
+}
+
+
+def watts_per_gbps(design: str, throughput_gbps: float, utilization: float = 1.0) -> float:
+    """Energy efficiency of a design at a measured throughput."""
+    if design not in PROFILES:
+        raise ValueError(f"unknown design {design!r}; have {sorted(PROFILES)}")
+    if throughput_gbps <= 0:
+        raise ValueError("throughput must be positive")
+    return PROFILES[design].power_at(utilization) / throughput_gbps
+
+
+def efficiency_table(measured_gbps: dict[str, float]) -> list[tuple[str, float, float]]:
+    """Rows of (design, watts, watts/Gb/s) for measured throughputs."""
+    rows = []
+    for design, gbps_value in measured_gbps.items():
+        watts = PROFILES[design].power_at(1.0)
+        rows.append((design, watts, watts / gbps_value))
+    return sorted(rows, key=lambda row: row[2])

@@ -1,0 +1,82 @@
+"""Middle-tier fleet sizing and total cost of ownership.
+
+Given the storage traffic a cloud must carry and the per-server
+throughput of a middle-tier design (measured by the experiments), this
+module answers the paper's §1/§5.5 question: how many middle-tier
+servers does each design need, and what does the fleet cost?
+
+The cost model is deliberately simple and fully parameterised — a
+server's capex amortised over its life plus its power — because the
+paper's claim is a *ratio* (51.6x fewer servers), not absolute dollars.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.units import to_gbps
+
+
+@dataclasses.dataclass(frozen=True)
+class ServerCost:
+    """Annualised cost of one middle-tier server."""
+
+    capex_usd: float = 20_000.0  # 2-socket server + NICs/accelerators
+    lifetime_years: float = 5.0
+    power_watts: float = 450.0
+    usd_per_kwh: float = 0.10
+
+    @property
+    def annual_usd(self) -> float:
+        """Capex amortisation plus a year of power."""
+        if self.lifetime_years <= 0:
+            raise ValueError("server lifetime must be positive")
+        energy = self.power_watts / 1000.0 * 24 * 365 * self.usd_per_kwh
+        return self.capex_usd / self.lifetime_years + energy
+
+
+@dataclasses.dataclass(frozen=True)
+class FleetPlan:
+    """Fleet required for one design to carry the target traffic."""
+
+    design: str
+    per_server_gbps: float
+    servers: int
+    annual_cost_usd: float
+
+    def cost_ratio_vs(self, other: "FleetPlan") -> float:
+        """How many times cheaper this fleet is than `other`."""
+        if self.annual_cost_usd <= 0:
+            raise ValueError("cannot compare a zero-cost fleet")
+        return other.annual_cost_usd / self.annual_cost_usd
+
+
+def plan_fleet(
+    design: str,
+    per_server_rate: float,
+    target_traffic: float,
+    cost: ServerCost | None = None,
+    utilization_target: float = 0.7,
+) -> FleetPlan:
+    """Servers (and cost) needed to carry `target_traffic` bytes/second.
+
+    `per_server_rate` is the design's measured peak in bytes/second;
+    fleets are provisioned to run each server at `utilization_target`
+    of that peak (clouds never run the middle tier at 100 %).
+    """
+    if per_server_rate <= 0:
+        raise ValueError("per-server rate must be positive")
+    if target_traffic < 0:
+        raise ValueError("target traffic must be non-negative")
+    if not 0 < utilization_target <= 1:
+        raise ValueError("utilization target must be in (0, 1]")
+    cost = cost or ServerCost()
+    usable = per_server_rate * utilization_target
+    servers = max(1, math.ceil(target_traffic / usable)) if target_traffic else 0
+    return FleetPlan(
+        design=design,
+        per_server_gbps=to_gbps(per_server_rate),
+        servers=servers,
+        annual_cost_usd=servers * cost.annual_usd,
+    )

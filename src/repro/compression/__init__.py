@@ -1,0 +1,43 @@
+"""Compression substrate.
+
+The paper's middle tier LZ4-compresses every 4 KB block before writing it
+to storage; its workloads come from the Silesia compression corpus. This
+package provides:
+
+- :mod:`repro.compression.lz4` -- a real, pure-Python implementation of
+  the LZ4 block format (compress + decompress), used when the simulated
+  datapath carries real bytes;
+- :mod:`repro.compression.corpus` -- a deterministic synthetic corpus
+  with the Silesia class mix (text, XML, database, binary, medical,
+  random), substituting for the corpus files we cannot download;
+- :mod:`repro.compression.model` -- throughput/ratio cost models for the
+  compressors the paper measures (CPU core, SMT pair, FPGA engine,
+  BlueField-2 engine).
+"""
+
+from repro.compression.lz4 import CorruptFrameError, lz4_compress, lz4_decompress
+from repro.compression.corpus import CorpusFile, SilesiaLikeCorpus
+from repro.compression.model import (
+    BF2_ENGINE,
+    CPU_CORE,
+    CPU_SMT_PAIR,
+    FPGA_ENGINE,
+    CompressorProfile,
+    RatioSampler,
+    compressed_size,
+)
+
+__all__ = [
+    "BF2_ENGINE",
+    "CPU_CORE",
+    "CPU_SMT_PAIR",
+    "CorpusFile",
+    "CorruptFrameError",
+    "CompressorProfile",
+    "FPGA_ENGINE",
+    "RatioSampler",
+    "SilesiaLikeCorpus",
+    "compressed_size",
+    "lz4_compress",
+    "lz4_decompress",
+]

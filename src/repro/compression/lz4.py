@@ -1,0 +1,184 @@
+"""Pure-Python LZ4 *block format* codec.
+
+Implements the LZ4 block format (https://github.com/lz4/lz4, the
+algorithm the paper offloads to its FPGA engines): a stream of sequences,
+each a token byte (literal-length nibble, match-length nibble), optional
+LSIC length extensions, literal bytes, a 2-byte little-endian match
+offset, and an optional match-length extension. The compressor is the
+classic greedy hash-table matcher with the format's end-of-block
+restrictions (the last 5 bytes are always literals; no match starts
+within the last 12 bytes).
+
+This codec is used for *functional* fidelity (real bytes really get
+compressed and restored along the simulated datapath) and to calibrate
+the corpus compression ratios; simulated compression *speed* comes from
+:mod:`repro.compression.model`.
+"""
+
+from __future__ import annotations
+
+#: Minimum match length the format can encode.
+MIN_MATCH = 4
+#: No match may start within this many bytes of the end of input.
+MF_LIMIT = 12
+#: The last sequence must hold at least this many literal bytes.
+LAST_LITERALS = 5
+#: Maximum distance a match offset can reach back.
+MAX_OFFSET = 0xFFFF
+
+
+class CorruptFrameError(ValueError):
+    """Raised when decompression meets malformed input."""
+
+
+def _write_lsic(out: bytearray, value: int) -> None:
+    """Append the LSIC (Linear Small-Integer Code) extension for `value`."""
+    while value >= 255:
+        out.append(255)
+        value -= 255
+    out.append(value)
+
+
+def _emit_sequence(
+    out: bytearray,
+    literals: memoryview,
+    offset: int | None,
+    match_extra: int,
+) -> None:
+    """Append one sequence; `offset is None` marks the final literal run.
+
+    `match_extra` is the match length minus :data:`MIN_MATCH`.
+    """
+    lit_len = len(literals)
+    lit_nibble = 15 if lit_len >= 15 else lit_len
+    match_nibble = 0 if offset is None else (15 if match_extra >= 15 else match_extra)
+    out.append((lit_nibble << 4) | match_nibble)
+    if lit_len >= 15:
+        _write_lsic(out, lit_len - 15)
+    out += literals
+    if offset is not None:
+        out += offset.to_bytes(2, "little")
+        if match_extra >= 15:
+            _write_lsic(out, match_extra - 15)
+
+
+def lz4_compress(data: bytes) -> bytes:
+    """Compress `data` into an LZ4 block.
+
+    Round-trips through :func:`lz4_decompress` for arbitrary input. Like
+    the reference implementation, incompressible input grows slightly
+    (one token plus LSIC bytes of overhead).
+    """
+    src = memoryview(bytes(data))
+    n = len(src)
+    out = bytearray()
+    if n == 0:
+        out.append(0)  # empty literal run, no match
+        return bytes(out)
+
+    match_scan_end = n - MF_LIMIT
+    table: dict[bytes, int] = {}
+    anchor = 0
+    i = 0
+    raw = src.obj  # the underlying bytes, for fast slicing
+
+    while i < match_scan_end:
+        key = raw[i : i + MIN_MATCH]
+        candidate = table.get(key)
+        table[key] = i
+        if candidate is None or i - candidate > MAX_OFFSET:
+            i += 1
+            continue
+
+        # Extend the match forward, leaving LAST_LITERALS bytes untouched.
+        match_len = MIN_MATCH
+        max_match = (n - LAST_LITERALS) - i
+        while match_len < max_match and raw[candidate + match_len] == raw[i + match_len]:
+            match_len += 1
+
+        _emit_sequence(out, src[anchor:i], offset=i - candidate, match_extra=match_len - MIN_MATCH)
+        i += match_len
+        anchor = i
+
+    _emit_sequence(out, src[anchor:n], offset=None, match_extra=0)
+    return bytes(out)
+
+
+def _read_lsic(blob: bytes, pos: int) -> tuple[int, int]:
+    """Read an LSIC extension at `pos`; returns (value, next position)."""
+    total = 0
+    while True:
+        if pos >= len(blob):
+            raise CorruptFrameError("truncated LSIC length extension")
+        byte = blob[pos]
+        pos += 1
+        total += byte
+        if byte != 255:
+            return total, pos
+
+
+def lz4_decompress(blob: bytes, max_output: int = 1 << 30) -> bytes:
+    """Decompress an LZ4 block produced by :func:`lz4_compress`.
+
+    `max_output` bounds the output size to keep corrupt input from
+    ballooning memory; exceeding it raises :class:`CorruptFrameError`.
+    """
+    out = bytearray()
+    pos = 0
+    n = len(blob)
+    if n == 0:
+        raise CorruptFrameError("empty input is not a valid LZ4 block")
+
+    while pos < n:
+        token = blob[pos]
+        pos += 1
+
+        literal_len = token >> 4
+        if literal_len == 15:
+            extra, pos = _read_lsic(blob, pos)
+            literal_len += extra
+        if pos + literal_len > n:
+            raise CorruptFrameError("literal run overflows input")
+        out += blob[pos : pos + literal_len]
+        pos += literal_len
+        if len(out) > max_output:
+            raise CorruptFrameError("output exceeds max_output")
+
+        if pos == n:
+            break  # final sequence has no match part
+
+        if pos + 2 > n:
+            raise CorruptFrameError("truncated match offset")
+        offset = blob[pos] | (blob[pos + 1] << 8)
+        pos += 2
+        if offset == 0:
+            raise CorruptFrameError("match offset of zero")
+        if offset > len(out):
+            raise CorruptFrameError("match offset reaches before output start")
+
+        match_len = (token & 0x0F) + MIN_MATCH
+        if (token & 0x0F) == 15:
+            extra, pos = _read_lsic(blob, pos)
+            match_len += extra
+
+        start = len(out) - offset
+        if offset >= match_len:
+            out += out[start : start + match_len]
+        else:
+            # Overlapping match: the copied region grows as we copy. Build
+            # it by doubling the seed chunk.
+            chunk = bytes(out[start:])
+            while len(chunk) < match_len:
+                chunk += chunk
+            out += chunk[:match_len]
+        if len(out) > max_output:
+            raise CorruptFrameError("output exceeds max_output")
+
+    return bytes(out)
+
+
+def compression_ratio(data: bytes) -> float:
+    """Convenience: ``len(data) / len(lz4_compress(data))`` (< 1 for incompressible data)."""
+    if len(data) == 0:
+        return 1.0
+    return len(data) / len(lz4_compress(data))

@@ -1,0 +1,19 @@
+"""The compute-server side of Fig. 2: VMs, storage agents, virtual disks.
+
+Compute servers host VMs whose block I/O goes "through its storage
+agent ... to the corresponding middle-tier server" (§2.1). This package
+provides that left-hand side of the architecture:
+
+- :class:`~repro.compute.agent.StorageAgent` — per-compute-server
+  component that owns the connections to the middle tier(s) and routes
+  each request by its segment;
+- :class:`~repro.compute.vm.VirtualMachine` /
+  :class:`~repro.compute.vm.VirtualDisk` — the guest-facing block API
+  (``write(lba, data)`` / ``read(lba)``), fully functional over the
+  simulated datapath.
+"""
+
+from repro.compute.agent import SegmentAllocator, StorageAgent
+from repro.compute.vm import VirtualDisk, VirtualMachine
+
+__all__ = ["SegmentAllocator", "StorageAgent", "VirtualDisk", "VirtualMachine"]

@@ -1,0 +1,28 @@
+"""SmartDS: the paper's contribution.
+
+- :mod:`repro.core.device` -- the VCU128-based SmartDS card: HBM, PCIe,
+  and one extended RoCE instance per networking port;
+- :mod:`repro.core.aams` -- the application-aware message split: Split
+  and Assemble modules with their descriptor tables (§4.1);
+- :mod:`repro.core.engines` -- the offloaded hardware engines (LZ4);
+- :mod:`repro.core.api` -- the RDMA-like high-level API of Table 2
+  (`host_alloc`, `dev_alloc`, `open_roce_instance`, `dev_mixed_recv`,
+  `dev_mixed_send`, `dev_func`, `poll`);
+- :mod:`repro.core.server` -- the SmartDS middle-tier server built on
+  that API (the production version of Listing 1);
+- :mod:`repro.core.resources` -- the FPGA resource model of Table 3.
+"""
+
+from repro.core.api import SmartDsApi
+from repro.core.device import DeviceBuffer, SmartDsDevice
+from repro.core.resources import FpgaResources, design_resources
+from repro.core.server import SmartDsMiddleTier
+
+__all__ = [
+    "DeviceBuffer",
+    "FpgaResources",
+    "SmartDsApi",
+    "SmartDsDevice",
+    "SmartDsMiddleTier",
+    "design_resources",
+]

@@ -1,0 +1,206 @@
+"""Application-aware message split (AAMS): Split and Assemble (§4.1).
+
+The Split module sits between the RoCE stack and the host: the
+application posts *recv descriptors* naming a host buffer for the first
+``h_size`` bytes of an RDMA message (the block-storage header) and a
+device buffer for the rest (the payload). When a message arrives, the
+Split module pops the next descriptor for that queue pair, DMAs the
+header across PCIe into host memory — a 64 B ring that lives happily in
+the DDIO LLC ways, so host DRAM is untouched — writes the payload to
+device HBM, and completes the descriptor.
+
+The Assemble module is the inverse: ``h_size`` bytes are fetched from
+host memory over PCIe, ``d_size`` bytes from device memory, and the two
+are joined into one outgoing RDMA message.
+
+Messages *without* a payload (storage acks, replies) bypass AAMS and
+flow to the host whole, like on a conventional NIC — that traffic is
+tiny, which is exactly the paper's point.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.net.message import Message
+from repro.net.roce import Datapath, QueuePair
+from repro.sim.resources import Store
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.device import DeviceBuffer, HostBuffer, SmartDsDevice
+    from repro.sim.events import Event
+    from repro.sim.process import Process
+
+
+@dataclasses.dataclass
+class SplitCompletion:
+    """What `poll` sees after a mixed recv completes (Listing 1's `e`)."""
+
+    size: int  # received payload bytes (`e.size`)
+    message: Message
+    h_buf: "HostBuffer"
+    d_buf: "DeviceBuffer"
+
+
+@dataclasses.dataclass
+class SplitDescriptor:
+    """One posted ``dev_mixed_recv`` work request."""
+
+    qp: QueuePair
+    h_buf: "HostBuffer"
+    h_size: int
+    d_buf: "DeviceBuffer"
+    d_size: int
+    event: "Event"
+
+
+class SplitModule:
+    """Per-QP recv-descriptor tables feeding the Split datapath."""
+
+    def __init__(self, device: "SmartDsDevice") -> None:
+        self.device = device
+        self.sim = device.sim
+        self._tables: dict[int, Store] = {}
+
+    def _table(self, qp: QueuePair) -> Store:
+        table = self._tables.get(id(qp))
+        if table is None:
+            table = Store(self.sim, name=f"split-table:{qp.endpoint.address}")
+            self._tables[id(qp)] = table
+        return table
+
+    def post(self, descriptor: SplitDescriptor) -> None:
+        """Append a recv descriptor to its QP's table (§4.1 receive side)."""
+        if descriptor.h_size > descriptor.h_buf.size:
+            raise ValueError("h_size exceeds the host buffer")
+        if descriptor.d_size > descriptor.d_buf.size:
+            raise ValueError("d_size exceeds the device buffer")
+        self._table(descriptor.qp).put(descriptor)
+
+    def has_descriptor(self, qp: QueuePair) -> bool:
+        """Whether a split descriptor is queued for `qp` right now."""
+        return len(self._table(qp)) > 0
+
+    def pop(self, qp: QueuePair) -> "Event":
+        """Next descriptor for `qp` (blocks the caller until one is posted)."""
+        return self._table(qp).get()
+
+
+class AamsDatapath(Datapath):
+    """The SmartDS extended-RoCE datapath: Split on ingress, Assemble on egress.
+
+    Egress charging covers messages sent directly through
+    ``QueuePair.send`` (the middle tier's control path); the richer
+    ``dev_mixed_send`` entry point in :mod:`repro.core.api` builds the
+    message from explicit buffers and then uses the same machinery.
+    """
+
+    #: The Assemble header cache remembers this many recently fetched
+    #: send headers, so a 3-replica fan-out fetches its header once.
+    HEADER_CACHE_LIMIT = 8192
+
+    def __init__(self, device: "SmartDsDevice", split: SplitModule) -> None:
+        self.device = device
+        self.split = split
+        self._header_cache: set = set()
+
+    def ingress(self, message: Message, qp: QueuePair) -> typing.Generator:
+        device = self.device
+        if message.payload is None or message.payload.size == 0:
+            # Header-only control message (storage ack, reply): the RoCE
+            # stack surfaces it to the host as a completion-queue entry
+            # (RDMA send-with-immediate), not a full DMA of the frame.
+            yield device.pcie.dma_write(device.spec.notify_bytes)
+            yield from device.charge_host_header_write(device.spec.notify_bytes)
+            return False
+        # Large message: wait for (or take) the posted split descriptor.
+        descriptor: SplitDescriptor = yield self.split.pop(qp)
+        yield device.sim.timeout(device.spec.split_latency)
+        header_bytes = min(descriptor.h_size, message.header_size)
+        yield device.pcie.dma_write(header_bytes)
+        yield from device.charge_host_header_write(header_bytes)
+        yield device.hbm.write(message.payload.size)
+        descriptor.h_buf.content = dict(message.header)
+        descriptor.d_buf.payload = message.payload
+        completion = SplitCompletion(
+            size=message.payload.size,
+            message=message,
+            h_buf=descriptor.h_buf,
+            d_buf=descriptor.d_buf,
+        )
+        descriptor.event.succeed(completion)
+        return True
+
+    def egress(self, message: Message, qp: QueuePair) -> typing.Generator:
+        device = self.device
+        # Assemble: header from host memory over PCIe, payload from HBM.
+        # The replica fan-out reuses one prepared send header (Listing 1
+        # fills a single h_buf_send), so repeat fetches for the same
+        # (kind, block) hit the Assemble module's header cache.
+        cache_key = (
+            message.kind,
+            message.header.get("chunk_id"),
+            message.header.get("block_id"),
+        )
+        if cache_key[1] is None or cache_key not in self._header_cache:
+            yield device.pcie.dma_read(message.header_size)
+            yield from device.charge_host_header_read(message.header_size)
+            if len(self._header_cache) >= self.HEADER_CACHE_LIMIT:
+                self._header_cache.clear()
+            if cache_key[1] is not None:
+                self._header_cache.add(cache_key)
+        if message.payload is not None and message.payload.size > 0:
+            yield device.hbm.read(message.payload.size)
+        yield device.sim.timeout(device.spec.split_latency)
+        return None
+
+
+class AssembleModule:
+    """Explicit ``dev_mixed_send``: join a host header and a device payload."""
+
+    def __init__(self, device: "SmartDsDevice") -> None:
+        self.device = device
+        self.sim = device.sim
+
+    def send(
+        self,
+        qp: QueuePair,
+        h_buf: "HostBuffer",
+        h_size: int,
+        d_buf: "DeviceBuffer",
+        d_size: int,
+    ) -> "Process":
+        """Assemble and transmit one RDMA message; notifies the host after."""
+        if h_size > h_buf.size:
+            raise ValueError("h_size exceeds the host buffer")
+        if d_size > d_buf.size:
+            raise ValueError("d_size exceeds the device buffer")
+        return self.sim.process(self._send(qp, h_buf, h_size, d_buf, d_size))
+
+    def _send(
+        self,
+        qp: QueuePair,
+        h_buf: "HostBuffer",
+        h_size: int,
+        d_buf: "DeviceBuffer",
+        d_size: int,
+    ) -> typing.Generator:
+        payload = d_buf.payload
+        if d_size > 0 and payload is None:
+            raise ValueError("dev_mixed_send with empty device buffer")
+        header = dict(h_buf.content)
+        kind = header.pop("kind", "data")
+        message = Message(
+            kind=kind,
+            src=qp.endpoint.address,
+            dst=qp.remote.address,
+            header_size=h_size,
+            payload=payload if d_size > 0 else None,
+            header=header,
+        )
+        # qp.send runs the AamsDatapath egress (PCIe header fetch + HBM
+        # payload read) before the wire transfer.
+        sent = yield qp.send(message)
+        yield self.device.pcie.dma_write(self.device.spec.notify_bytes)
+        return sent

@@ -1,0 +1,164 @@
+"""The SmartDS device: an HBM-enhanced FPGA SmartNIC (Figs. 5 and 6).
+
+One card holds:
+
+- up to 6 networking ports, each with its own *extended RoCE instance*
+  (RoCE stack + Split module + Assemble module) and its own hardware
+  compression engine;
+- 8 GB of HBM at up to 3.4 Tb/s (16 channels) holding message payloads;
+- one PCIe 3.0 x16 link to the host, which carries only message
+  headers, descriptors, and completions — the design's whole point.
+
+Host-side header traffic is tiny and cycles in a small ring, so it hits
+the DDIO LLC ways and leaves host DRAM untouched; the device exposes
+``charge_host_header_*`` helpers that implement exactly that test.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.core.aams import AamsDatapath, AssembleModule, SplitModule
+from repro.core.engines import HardwareEngine
+from repro.hostmodel.cache import DdioLlc
+from repro.hostmodel.memory import MemorySubsystem
+from repro.hostmodel.pcie import PcieLink
+from repro.net.link import NetworkPort
+from repro.net.roce import RoceEndpoint
+from repro.params import PlatformSpec
+from repro.units import gib, kib, mib
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import Simulator
+
+
+@dataclasses.dataclass
+class HostBuffer:
+    """Host memory allocated via ``host_alloc`` (headers, send headers)."""
+
+    size: int
+    content: dict = dataclasses.field(default_factory=dict)
+
+
+@dataclasses.dataclass
+class DeviceBuffer:
+    """SmartDS device memory allocated via ``dev_alloc`` (payloads)."""
+
+    size: int
+    payload: typing.Any = None  # a repro.net.message.Payload or None
+
+
+class DeviceMemoryAllocator:
+    """Tracks HBM buffer allocations against the 8 GB capacity."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.allocated = 0
+        self.peak = 0
+
+    def alloc(self, size: int) -> DeviceBuffer:
+        if size <= 0:
+            raise ValueError(f"allocation size must be positive, got {size}")
+        if self.allocated + size > self.capacity:
+            raise MemoryError(
+                f"device memory exhausted: {self.allocated} + {size} > {self.capacity}"
+            )
+        self.allocated += size
+        self.peak = max(self.peak, self.allocated)
+        return DeviceBuffer(size=size)
+
+    def free(self, buffer: DeviceBuffer) -> None:
+        if buffer.size > self.allocated:
+            raise ValueError("freeing more device memory than is allocated")
+        self.allocated -= buffer.size
+        buffer.payload = None
+
+
+class RoceInstance:
+    """One networking port's extended RoCE stack (Fig. 6)."""
+
+    def __init__(self, device: "SmartDsDevice", index: int) -> None:
+        self.device = device
+        self.index = index
+        network = device.platform.network
+        self.port = NetworkPort(
+            device.sim, rate=network.port_rate, name=f"{device.name}.port{index}"
+        )
+        self.split = SplitModule(device)
+        self.assemble = AssembleModule(device)
+        self.datapath = AamsDatapath(device, self.split)
+        self.endpoint = RoceEndpoint(
+            device.sim,
+            self.port,
+            f"{device.name}.roce{index}",
+            datapath=self.datapath,
+            spec=network,
+        )
+        self.engine = HardwareEngine(device, index)
+
+
+class SmartDsDevice:
+    """One SmartDS card plugged into a host."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        platform: PlatformSpec | None = None,
+        n_ports: int = 1,
+        name: str = "smartds",
+        host_memory: MemorySubsystem | None = None,
+        host_llc: DdioLlc | None = None,
+        hbm_capacity: int = gib(8),
+        header_ring_bytes: int = mib(1),
+    ) -> None:
+        self.platform = platform or PlatformSpec()
+        self.spec = self.platform.smartds
+        if not 1 <= n_ports <= self.spec.max_ports:
+            raise ValueError(
+                f"SmartDS supports 1..{self.spec.max_ports} ports, got {n_ports}"
+            )
+        self.sim = sim
+        self.name = name
+        self.n_ports = n_ports
+        self.hbm = MemorySubsystem(
+            sim,
+            rate=self.spec.hbm_rate,
+            lanes=self.spec.hbm_lanes,
+            chunk=kib(64),
+            name=f"{name}.hbm",
+        )
+        self.allocator = DeviceMemoryAllocator(hbm_capacity)
+        self.pcie = PcieLink(sim, self.platform.host, name=f"{name}.pcie")
+        self.host_memory = host_memory
+        self.host_llc = host_llc or DdioLlc(self.platform.host)
+        self.header_ring_bytes = header_ring_bytes
+        self.instances = [RoceInstance(self, i) for i in range(n_ports)]
+
+    def instance(self, index: int) -> RoceInstance:
+        """The extended RoCE instance of port `index`."""
+        if not 0 <= index < self.n_ports:
+            raise ValueError(f"port index {index} outside 0..{self.n_ports - 1}")
+        return self.instances[index]
+
+    # -- host-side header traffic ------------------------------------------
+
+    def charge_host_header_write(self, nbytes: int) -> typing.Generator:
+        """DRAM cost of landing header bytes in the host header ring.
+
+        The ring is ~1 MB: it fits in the DDIO LLC ways, so normally no
+        DRAM transfer happens at all.
+        """
+        if self.host_memory is None:
+            return
+        traffic = self.host_llc.dma_write(nbytes, self.header_ring_bytes)
+        if traffic.dram_write:
+            yield self.host_memory.write(traffic.dram_write)
+
+    def charge_host_header_read(self, nbytes: int) -> typing.Generator:
+        """DRAM cost of the Assemble module fetching a send header."""
+        if self.host_memory is None:
+            return
+        traffic = self.host_llc.dma_read(nbytes, self.header_ring_bytes)
+        if traffic.dram_read:
+            yield self.host_memory.read(traffic.dram_read)

@@ -1,0 +1,313 @@
+"""The SmartDS middle-tier server (§4.3, productionized Listing 1).
+
+The write path is exactly the paper's running example, at scale:
+
+1. ``dev_mixed_recv`` splits every arriving write request — the 64 B
+   header lands in host memory (a small ring the DDIO LLC absorbs),
+   the 4 KB payload stays in SmartDS HBM.
+2. A host worker parses the header (full software flexibility) and
+   posts descriptors — the *only* CPU work per request.
+3. ``dev_func`` compresses the payload in place on the port's hardware
+   engine (skipped for latency-sensitive writes).
+4. ``dev_mixed_send`` ships header+payload to each of the three replica
+   storage servers; once all ack, the VM gets its reply.
+
+Each networking port has its own extended RoCE instance and engine
+(Fig. 6), so throughput scales linearly in ports; storage traffic exits
+on the port its request arrived on.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.api import SmartDsApi
+from repro.core.device import SmartDsDevice
+from repro.core.engines import lz4_decompress_op
+from repro.hostmodel.cache import DdioLlc
+from repro.hostmodel.memory import MemorySubsystem
+from repro.middletier.base import MiddleTierServer, ResponseMatcher
+from repro.middletier.cluster import Testbed
+from repro.net.message import Message
+from repro.net.roce import QueuePair, RoceEndpoint
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import Simulator
+    from repro.storage.server import StorageServer
+
+#: Device buffers leave room for LZ4's worst-case expansion on
+#: incompressible blocks.
+_BUFFER_SLACK = 512
+
+
+class SmartDsMiddleTier(MiddleTierServer):
+    """Middle tier built on the SmartDS device and its Table 2 API."""
+
+    design_name = "SmartDS"
+    #: control plane stays in host software (the design's raison d'etre).
+    flexible = True
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        testbed: Testbed,
+        n_workers: int | None = None,
+        n_ports: int = 1,
+        address: str = "tier0",
+        memory: MemorySubsystem | None = None,
+        recv_window: int = 64,
+    ) -> None:
+        if recv_window < 1:
+            raise ValueError(f"recv_window must be >= 1, got {recv_window}")
+        self._n_ports = n_ports
+        self._shared_memory = memory
+        self._recv_window = recv_window
+        # The paper's provisioning rule (§5.5): two host cores per port.
+        workers = n_workers if n_workers is not None else 2 * n_ports
+        super().__init__(sim, testbed, workers, address=address)
+
+    @property
+    def n_ports(self) -> int:
+        """Networking ports in use on the card."""
+        return self._n_ports
+
+    def _build(self) -> None:
+        host = self.platform.host
+        self.memory = self._shared_memory or MemorySubsystem.for_host(
+            self.sim, host, name=f"{self.address}.dram"
+        )
+        self.llc = DdioLlc(host)
+        self.device = SmartDsDevice(
+            self.sim,
+            self.platform,
+            n_ports=self._n_ports,
+            name=f"{self.address}.smartds",
+            host_memory=self.memory,
+            host_llc=self.llc,
+        )
+        self.api = SmartDsApi(self.device)
+        self._buffer_bytes = self.platform.workload.block_size + _BUFFER_SLACK
+        self._buffers: dict[int, tuple[int, typing.Any, typing.Any]] = {}
+        self._port_links: list[dict[str, tuple[QueuePair, ResponseMatcher]]] = []
+        self._read_matchers: dict[tuple[int, str], _SplitReplyMatcher] = {}
+        self.client_endpoint = self.device.instance(0).endpoint
+        self.storage_endpoint = self.client_endpoint
+
+    # -- wiring ---------------------------------------------------------------
+
+    def _endpoint_for_port(self, port_index: int) -> RoceEndpoint:
+        return self.device.instance(port_index).endpoint
+
+    def _connect_storage(self) -> None:
+        for instance in self.device.instances:
+            links: dict[str, tuple[QueuePair, ResponseMatcher]] = {}
+            for server in self.testbed.storage_servers:
+                qp = server.accept_from(instance.endpoint)
+                links[server.address] = (qp, ResponseMatcher(self.sim, qp))
+            self._port_links.append(links)
+        # Base-class paths that don't know about ports use port 0.
+        self._storage_links = self._port_links[0]
+
+    def _storage_link_for(
+        self, server: "StorageServer", message: Message
+    ) -> tuple[QueuePair, ResponseMatcher]:
+        port = message.header.get("arrival_port", 0)
+        return self._port_links[port][server.address]
+
+    def attach_client(self, client_endpoint: RoceEndpoint, port_index: int = 0) -> QueuePair:
+        qp = client_endpoint.connect(self._endpoint_for_port(port_index))
+        # Keep a window of mixed-recv descriptors posted so the Split
+        # module pipelines back-to-back messages (Listing 1's loop, with
+        # the descriptor depth a production receive queue would use).
+        for _ in range(self._recv_window):
+            self._post_recv(port_index, qp.peer)
+        # Header-only client messages (read requests) bypass AAMS and land
+        # in the software receive queue; drain it like a plain NIC.
+        self.sim.process(
+            self._dispatch_control(qp.peer, port_index),
+            name=f"{self.address}.ctl{port_index}",
+        )
+        return qp
+
+    def _dispatch_control(self, qp: QueuePair, port_index: int) -> typing.Generator:
+        while True:
+            message: Message = yield qp.recv()
+            message.header["arrival_port"] = port_index
+            self._requests.put((qp, message))
+
+    def _post_recv(self, port_index: int, qp: QueuePair) -> None:
+        """Post one mixed-recv descriptor; its completion reposts another."""
+        api = self.api
+        header_size = self.platform.workload.header_size
+        h_buf = api.host_alloc(header_size)
+        d_buf = api.dev_alloc(self._buffer_bytes)
+        completion = api.dev_mixed_recv(qp, h_buf, header_size, d_buf, self._buffer_bytes)
+        self.sim.process(
+            self._on_recv(port_index, qp, completion, h_buf, d_buf),
+            name=f"{self.address}.recv{port_index}",
+        )
+
+    def _on_recv(
+        self,
+        port_index: int,
+        qp: QueuePair,
+        completion: typing.Any,
+        h_buf: typing.Any,
+        d_buf: typing.Any,
+    ) -> typing.Generator:
+        yield from self.api.poll(completion)
+        message = completion.message
+        message.header["arrival_port"] = port_index
+        self._buffers[message.request_id] = (port_index, h_buf, d_buf)
+        self._requests.put((qp, message))
+        self._post_recv(port_index, qp)
+
+    # -- the write path ----------------------------------------------------------
+
+    def _handle_write(
+        self, worker_index: int, qp: QueuePair, message: Message
+    ) -> typing.Generator:
+        host = self.platform.host
+        if message.payload is None:
+            raise ValueError("write_request without payload")
+        # Parse the header in host memory; post the engine descriptor and
+        # the recv repost. The storage/reply sends are posted from the
+        # completion context when the engine finishes.
+        yield self.sim.timeout(host.parse_header_time)
+        yield self.sim.timeout(host.post_descriptor_time * 2)
+        self.sim.process(self._compress_and_complete(qp, message))
+
+    def _compress_and_complete(self, qp: QueuePair, message: Message) -> typing.Generator:
+        api = self.api
+        port_index, h_buf, d_recv = self._buffers.pop(message.request_id)
+        engine = self.device.instance(port_index).engine
+        d_send = None
+        if message.header.get("latency_sensitive"):
+            outgoing = message.payload
+        else:
+            d_send = api.dev_alloc(self._buffer_bytes)
+            completion = api.dev_func(
+                d_recv, message.payload.size, d_send, self._buffer_bytes, engine
+            )
+            yield from api.poll(completion)
+            outgoing = d_send.payload
+        # Post the replica sends and the VM reply (completion-context CPU).
+        posts = self.platform.storage.replication + 1
+        yield self.sim.timeout(self.platform.host.post_descriptor_time * posts)
+        try:
+            yield from self._replicate_and_reply(qp, message, outgoing)
+        finally:
+            api.dev_free(d_recv)
+            if d_send is not None:
+                api.dev_free(d_send)
+
+    # -- the read path --------------------------------------------------------------
+
+    def _fetch_and_reply(
+        self, worker_index: int, qp: QueuePair, message: Message
+    ) -> typing.Generator:
+        """§2.2.2 on SmartDS: reply payloads land in HBM via mixed recv,
+        decompress on the port engine, and leave via the Assemble path."""
+        api = self.api
+        key = (message.header.get("chunk_id", 0), message.header.get("block_id", 0))
+        locations = self._block_locations.get(key)
+        if not locations:
+            yield qp.send(message.reply("read_reply", status="not_found"))
+            return
+        port_index = message.header.get("arrival_port", 0)
+        server = self.testbed.server(locations[0])
+        storage_qp, control_matcher = self._port_links[port_index][server.address]
+        reply_matcher = self._read_matchers.get((port_index, server.address))
+        if reply_matcher is None:
+            reply_matcher = _SplitReplyMatcher(self, storage_qp)
+            self._read_matchers[(port_index, server.address)] = reply_matcher
+
+        fetch = Message(
+            kind="storage_read",
+            src=self.address,
+            dst=server.address,
+            header_size=message.header_size,
+            header={"chunk_id": key[0], "block_id": key[1]},
+        )
+        # A reply with data is consumed by the Split module (payload to
+        # HBM); a miss is header-only and lands at the control matcher.
+        data_event = reply_matcher.expect(fetch.request_id)
+        miss_event = control_matcher.expect(fetch.request_id)
+        yield storage_qp.send(fetch)
+        yield self.sim.any_of([data_event, miss_event])
+
+        if miss_event.triggered:
+            reply_matcher.forget(fetch.request_id)
+            yield qp.send(message.reply("read_reply", status="not_found"))
+            return
+        control_matcher.forget(fetch.request_id)
+        stored, d_buf = data_event.value
+        payload = stored.payload
+        d_out = api.dev_alloc(self._buffer_bytes)
+        try:
+            if payload.is_compressed:
+                # Same engine, decompression microprogram (the paper's
+                # engines are symmetric for LZ4).
+                engine = self.device.instance(port_index).engine
+                payload = yield engine.run(d_buf, payload.size, d_out, operation=lz4_decompress_op)
+            response = message.reply("read_reply", status="ok")
+            response.payload = payload
+            yield qp.send(response)
+            self.requests_completed.add()
+        finally:
+            reply_matcher.release(d_buf)
+            api.dev_free(d_out)
+
+
+class _SplitReplyMatcher:
+    """Routes split-consumed storage replies to waiting readers.
+
+    Keeps a window of mixed-recv descriptors posted on one storage QP;
+    completions are matched to waiters by ``in_reply_to`` (descriptors
+    are interchangeable, so FIFO hardware matching composes with
+    software request matching). Unclaimed replies are dropped and their
+    buffers recycled.
+    """
+
+    WINDOW = 8
+
+    def __init__(self, tier: SmartDsMiddleTier, qp: QueuePair) -> None:
+        self.tier = tier
+        self.qp = qp
+        self.sim = tier.sim
+        self._waiting: dict[int, typing.Any] = {}
+        for _ in range(self.WINDOW):
+            self._post()
+
+    def expect(self, request_id: int) -> typing.Any:
+        """Event firing with ``(reply_message, device_buffer)``."""
+        event = self.sim.event(name=f"split-reply:{request_id}")
+        self._waiting[request_id] = event
+        return event
+
+    def forget(self, request_id: int) -> None:
+        """Drop interest in a reply (the miss path won the race)."""
+        self._waiting.pop(request_id, None)
+
+    def release(self, d_buf: typing.Any) -> None:
+        """Return a delivered reply's device buffer to the allocator."""
+        self.tier.api.dev_free(d_buf)
+
+    def _post(self) -> None:
+        api = self.tier.api
+        h_buf = api.host_alloc(self.tier.platform.workload.header_size)
+        d_buf = api.dev_alloc(self.tier._buffer_bytes)
+        completion = api.dev_mixed_recv(
+            self.qp, h_buf, h_buf.size, d_buf, self.tier._buffer_bytes
+        )
+        self.sim.process(self._on_complete(completion, d_buf), name="split-reply-matcher")
+
+    def _on_complete(self, completion: typing.Any, d_buf: typing.Any) -> typing.Generator:
+        yield from self.tier.api.poll(completion)
+        message = completion.message
+        self._post()  # keep the descriptor window full
+        event = self._waiting.pop(message.header.get("in_reply_to"), None)
+        if event is None:
+            self.tier.api.dev_free(d_buf)  # unclaimed; recycle
+        else:
+            event.succeed((message, d_buf))

@@ -1,0 +1,26 @@
+"""Reproductions of every table and figure in the paper's evaluation.
+
+One module per artifact; each exposes ``run(quick=False) -> ExperimentResult``:
+
+- :mod:`repro.experiments.table1_pcie` -- Table 1, PCIe latency under load
+- :mod:`repro.experiments.table3_resources` -- Table 3, FPGA resources
+- :mod:`repro.experiments.fig4_memory_interference` -- Fig. 4, RDMA vs MLC
+- :mod:`repro.experiments.fig7_throughput_latency` -- Fig. 7 a-d
+- :mod:`repro.experiments.fig8_bandwidth` -- Fig. 8 a-b
+- :mod:`repro.experiments.fig9_interference` -- Fig. 9 a-d
+- :mod:`repro.experiments.fig10_multiport` -- Fig. 10 a-c
+- :mod:`repro.experiments.sec55_multi_nic` -- §5.5, multi-SmartNIC scale-up
+
+``python -m repro.experiments.runner`` (or the ``smartds-repro`` script)
+runs them from the command line; ``EXPERIMENTS.md`` records paper-vs-
+measured for each.
+"""
+
+from repro.experiments.common import (
+    ExperimentResult,
+    Measurement,
+    build_tier,
+    measure_design,
+)
+
+__all__ = ["ExperimentResult", "Measurement", "build_tier", "measure_design"]

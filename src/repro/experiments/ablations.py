@@ -1,0 +1,227 @@
+"""Ablations of SmartDS design choices.
+
+DESIGN.md calls out the decisions this module stresses:
+
+- ``split``        — what AAMS buys: SmartDS vs the no-split design
+                     with the same engine (Acc) on host memory and PCIe;
+- ``recv_window``  — how many posted split descriptors the Split module
+                     needs before back-to-back messages pipeline;
+- ``engine_latency`` — engine pipeline depth vs throughput/latency:
+                     throughput must not care, unloaded latency must;
+- ``compressibility`` — where the egress bottleneck moves as block
+                     compressibility varies (3-way replication amplifies
+                     egress by 3/ratio);
+- ``replication``  — sensitivity to the replication factor;
+- ``latency_sensitive`` — Listing 1's compression bypass: latency gets
+                     better per request, but raw 3x replication eats the
+                     egress port sooner.
+
+Each ablation returns rows; ``run`` bundles them into one report.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.compression.model import FPGA_ENGINE, CompressorProfile, RatioSampler
+from repro.core import SmartDsMiddleTier
+from repro.experiments.common import ExperimentResult, measure_design
+from repro.hostmodel.memory import MemorySubsystem
+from repro.middletier import Testbed
+from repro.params import DEFAULT_PLATFORM, PlatformSpec
+from repro.sim import Simulator
+from repro.telemetry.reporting import format_table
+from repro.units import to_gbps, to_usec, usec
+from repro.workloads import ClientDriver, WriteRequestFactory
+
+
+def _drive_smartds(
+    platform: PlatformSpec,
+    n_requests: int,
+    concurrency: int,
+    recv_window: int = 64,
+    ratio: float | None = None,
+    latency_sensitive_fraction: float = 0.0,
+) -> dict:
+    sim = Simulator()
+    testbed = Testbed(sim, platform)
+    memory = MemorySubsystem.for_host(sim, platform.host)
+    tier = SmartDsMiddleTier(sim, testbed, memory=memory, recv_window=recv_window)
+    factory = WriteRequestFactory(
+        platform,
+        ratio_sampler=RatioSampler.constant(ratio) if ratio else None,
+        latency_sensitive_fraction=latency_sensitive_fraction,
+        seed=1,
+    )
+    driver = ClientDriver(sim, tier, factory, concurrency=concurrency)
+    result = sim.run(until=driver.run(n_requests))
+    summary = result.latency.summary()
+    return {
+        "throughput_gbps": to_gbps(result.throughput),
+        "avg_us": to_usec(summary["avg"]),
+        "p99_us": to_usec(summary["p99"]),
+    }
+
+
+def split_ablation(quick: bool = False, platform: PlatformSpec | None = None) -> list[list]:
+    """AAMS on (SmartDS-1) vs off (Acc: same engine, host-memory path)."""
+    platform = platform or DEFAULT_PLATFORM
+    n_requests = 1200 if quick else 4000
+    rows = []
+    for label, design in (("AAMS split (SmartDS-1)", "SmartDS-1"), ("no split (Acc)", "Acc")):
+        m = measure_design(design, n_workers=2, n_requests=n_requests, concurrency=256, platform=platform)
+        per_gb = m.throughput_gbps or 1.0
+        rows.append(
+            [
+                label,
+                round(m.throughput_gbps, 1),
+                round(m.memory_read_gbps + m.memory_write_gbps, 1),
+                round(sum(m.pcie_gbps.values()), 1),
+                round((m.memory_read_gbps + m.memory_write_gbps) / per_gb, 2),
+                round(sum(m.pcie_gbps.values()) / per_gb, 2),
+            ]
+        )
+    return rows
+
+
+def recv_window_ablation(quick: bool = False, platform: PlatformSpec | None = None) -> list[list]:
+    """Split-descriptor depth: 1 descriptor serializes the split pipeline."""
+    platform = platform or DEFAULT_PLATFORM
+    n_requests = 1000 if quick else 3000
+    windows = (1, 4, 64) if quick else (1, 2, 4, 8, 16, 64)
+    rows = []
+    for window in windows:
+        m = _drive_smartds(platform, n_requests, concurrency=256, recv_window=window)
+        rows.append([window, round(m["throughput_gbps"], 1), round(m["avg_us"], 1)])
+    return rows
+
+
+def engine_latency_ablation(
+    quick: bool = False, platform: PlatformSpec | None = None
+) -> list[list]:
+    """Engine pipeline depth: throughput flat, unloaded latency linear."""
+    platform = platform or DEFAULT_PLATFORM
+    n_requests = 800 if quick else 2500
+    depths_us = (1, 18) if quick else (1, 5, 18, 50)
+    rows = []
+    for depth in depths_us:
+        profile = CompressorProfile("fpga-engine", rate=FPGA_ENGINE.rate, setup_time=usec(depth))
+        sim = Simulator()
+        testbed = Testbed(sim, platform)
+        tier = SmartDsMiddleTier(sim, testbed)
+        for instance in tier.device.instances:
+            instance.engine.profile = profile
+        # Saturated run for throughput.
+        driver = ClientDriver(
+            sim, tier, WriteRequestFactory(platform, seed=1), concurrency=256
+        )
+        saturated = sim.run(until=driver.run(n_requests))
+        # Light run for latency on a fresh testbed.
+        sim2 = Simulator()
+        testbed2 = Testbed(sim2, platform)
+        tier2 = SmartDsMiddleTier(sim2, testbed2)
+        for instance in tier2.device.instances:
+            instance.engine.profile = profile
+        light_driver = ClientDriver(
+            sim2, tier2, WriteRequestFactory(platform, seed=2), concurrency=4
+        )
+        light = sim2.run(until=light_driver.run(max(200, n_requests // 8)))
+        rows.append(
+            [
+                depth,
+                round(to_gbps(saturated.throughput), 1),
+                round(to_usec(light.latency.mean()), 1),
+            ]
+        )
+    return rows
+
+
+def compressibility_ablation(
+    quick: bool = False, platform: PlatformSpec | None = None
+) -> list[list]:
+    """Peak throughput vs block compressibility (egress amplification 3/r)."""
+    platform = platform or DEFAULT_PLATFORM
+    n_requests = 1000 if quick else 3000
+    ratios = (1.0, 2.1, 4.0) if quick else (1.0, 1.5, 2.1, 3.0, 4.0, 8.0)
+    rows = []
+    for ratio in ratios:
+        m = _drive_smartds(platform, n_requests, concurrency=256, ratio=ratio)
+        rows.append([ratio, round(m["throughput_gbps"], 1)])
+    return rows
+
+
+def replication_ablation(
+    quick: bool = False, platform: PlatformSpec | None = None
+) -> list[list]:
+    """Peak throughput vs replication factor (egress amplification r/ratio)."""
+    base = platform or DEFAULT_PLATFORM
+    n_requests = 1000 if quick else 3000
+    factors = (1, 3) if quick else (1, 2, 3, 4)
+    rows = []
+    for replication in factors:
+        storage = dataclasses.replace(base.storage, replication=replication)
+        varied = dataclasses.replace(base, storage=storage)
+        m = _drive_smartds(varied, n_requests, concurrency=256)
+        rows.append([replication, round(m["throughput_gbps"], 1)])
+    return rows
+
+
+def latency_sensitive_ablation(
+    quick: bool = False, platform: PlatformSpec | None = None
+) -> list[list]:
+    """Listing 1's bypass knob: more raw forwarding = more egress bytes."""
+    platform = platform or DEFAULT_PLATFORM
+    n_requests = 1000 if quick else 3000
+    fractions = (0.0, 1.0) if quick else (0.0, 0.25, 0.5, 0.75, 1.0)
+    rows = []
+    for fraction in fractions:
+        m = _drive_smartds(
+            platform, n_requests, concurrency=256, latency_sensitive_fraction=fraction
+        )
+        rows.append([fraction, round(m["throughput_gbps"], 1), round(m["avg_us"], 1)])
+    return rows
+
+
+def run(quick: bool = False, platform: PlatformSpec | None = None) -> ExperimentResult:
+    """Run every ablation and bundle one report."""
+    sections = [
+        (
+            "AAMS split on/off (per-Gb/s host footprints)",
+            ["variant", "tput (Gb/s)", "mem (Gb/s)", "PCIe (Gb/s)", "mem/tput", "PCIe/tput"],
+            split_ablation(quick, platform),
+        ),
+        (
+            "Split recv-descriptor window",
+            ["window", "tput (Gb/s)", "avg (us)"],
+            recv_window_ablation(quick, platform),
+        ),
+        (
+            "Engine pipeline depth",
+            ["depth (us)", "tput (Gb/s)", "unloaded avg (us)"],
+            engine_latency_ablation(quick, platform),
+        ),
+        (
+            "Block compressibility",
+            ["LZ4 ratio", "tput (Gb/s)"],
+            compressibility_ablation(quick, platform),
+        ),
+        (
+            "Replication factor",
+            ["replicas", "tput (Gb/s)"],
+            replication_ablation(quick, platform),
+        ),
+        (
+            "Latency-sensitive (compression bypass) fraction",
+            ["fraction", "tput (Gb/s)", "avg (us)"],
+            latency_sensitive_ablation(quick, platform),
+        ),
+    ]
+    text = "\n\n".join(
+        format_table(headers, rows, title=title) for title, headers, rows in sections
+    )
+    return ExperimentResult(
+        experiment_id="ablations",
+        title="SmartDS design-choice ablations",
+        text=text,
+        data={title: rows for title, _headers, rows in sections},
+    )

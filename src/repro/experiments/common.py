@@ -1,0 +1,171 @@
+"""Shared experiment machinery: tier construction, measurement, results."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.core import SmartDsMiddleTier
+from repro.hostmodel.memory import MemorySubsystem
+from repro.middletier import (
+    AcceleratorMiddleTier,
+    BlueField2MiddleTier,
+    CpuOnlyMiddleTier,
+    NaiveFpgaMiddleTier,
+    Testbed,
+)
+from repro.params import DEFAULT_PLATFORM, PlatformSpec
+from repro.sim import Simulator
+from repro.units import to_gbps, to_usec
+from repro.workloads import ClientDriver, MlcInjector, WriteRequestFactory
+
+#: Designs an experiment can name (plus "SmartDS-<N>" for any port count).
+DESIGN_NAMES = ("CPU-only", "Acc", "Acc w/o DDIO", "BF2", "FPGA-only", "SmartDS-1")
+
+
+def build_tier(
+    sim: "Simulator",
+    testbed: Testbed,
+    design: str,
+    n_workers: int,
+    memory: MemorySubsystem,
+) -> typing.Any:
+    """Construct a middle tier by design name ("SmartDS-<N>" for N ports)."""
+    if design.startswith("SmartDS-"):
+        n_ports = int(design.split("-", 1)[1])
+        return SmartDsMiddleTier(
+            sim, testbed, n_ports=n_ports, memory=memory, n_workers=n_workers or None
+        )
+    if design == "CPU-only":
+        return CpuOnlyMiddleTier(sim, testbed, n_workers=n_workers, memory=memory)
+    if design == "Acc":
+        return AcceleratorMiddleTier(sim, testbed, n_workers=n_workers, memory=memory)
+    if design == "Acc w/o DDIO":
+        return AcceleratorMiddleTier(
+            sim, testbed, n_workers=n_workers, memory=memory, ddio_enabled=False
+        )
+    if design == "BF2":
+        return BlueField2MiddleTier(sim, testbed, n_workers=n_workers)
+    if design == "FPGA-only":
+        return NaiveFpgaMiddleTier(sim, testbed, n_workers=n_workers)
+    raise ValueError(f"unknown design {design!r}; have {DESIGN_NAMES} or SmartDS-<N>")
+
+
+@dataclasses.dataclass
+class ExperimentResult:
+    """Output of one experiment run: data plus ready-to-print text."""
+
+    experiment_id: str
+    title: str
+    text: str
+    data: dict
+
+    def render(self) -> str:
+        """The experiment's formatted report."""
+        header = f"== {self.experiment_id}: {self.title} =="
+        return f"{header}\n{self.text}"
+
+
+@dataclasses.dataclass
+class Measurement:
+    """One middle-tier operating point."""
+
+    design: str
+    n_workers: int
+    throughput_gbps: float
+    avg_latency_us: float
+    p99_latency_us: float
+    p999_latency_us: float
+    memory_read_gbps: float
+    memory_write_gbps: float
+    pcie_gbps: dict[str, float]
+    mlc_gbps: float = 0.0
+
+
+def _tier_pcie_meters(tier: typing.Any) -> dict[str, float]:
+    """Per-device PCIe bandwidth (Gb/s, both directions summed)."""
+    meters: dict[str, float] = {}
+    nic = getattr(tier, "nic", None)
+    if nic is not None:
+        meters["nic-h2d"] = to_gbps(nic.pcie.h2d_meter.rate())
+        meters["nic-d2h"] = to_gbps(nic.pcie.d2h_meter.rate())
+    fpga_pcie = getattr(tier, "fpga_pcie", None)
+    if fpga_pcie is not None:
+        meters["fpga-h2d"] = to_gbps(fpga_pcie.h2d_meter.rate())
+        meters["fpga-d2h"] = to_gbps(fpga_pcie.d2h_meter.rate())
+    device = getattr(tier, "device", None)
+    if device is not None and hasattr(device, "pcie"):
+        meters["smartds-h2d"] = to_gbps(device.pcie.h2d_meter.rate())
+        meters["smartds-d2h"] = to_gbps(device.pcie.d2h_meter.rate())
+    return meters
+
+
+def measure_design(
+    design: str,
+    n_workers: int,
+    n_requests: int = 4000,
+    concurrency: int | None = None,
+    n_ports: int = 1,
+    platform: PlatformSpec | None = None,
+    mlc_threads: int = 0,
+    mlc_delay: float = 0.0,
+    seed: int = 1,
+) -> Measurement:
+    """Drive one design to a steady state and read the paper's metrics.
+
+    When `mlc_threads` > 0, an MLC injector shares the tier's host
+    memory subsystem (the §5.3 methodology). `n_ports` > 1 selects the
+    SmartDS multi-port configuration with one client per port.
+    """
+    platform = platform or DEFAULT_PLATFORM
+    if design.startswith("SmartDS-"):
+        n_ports = int(design.split("-", 1)[1])
+    sim = Simulator()
+    testbed = Testbed(sim, platform, n_storage_servers=max(3, 2 * n_ports))
+    memory = MemorySubsystem.for_host(sim, platform.host)
+    tier = build_tier(sim, testbed, design, n_workers, memory)
+    ports = getattr(tier, "n_ports", 1)
+    concurrency = concurrency or 64
+    drivers = [
+        ClientDriver(
+            sim,
+            tier,
+            WriteRequestFactory(platform, vm_id=f"vm{p}", seed=seed + p),
+            concurrency=concurrency,
+            port_index=p,
+        )
+        for p in range(ports)
+    ]
+
+    mlc = None
+    if mlc_threads:
+        mlc = MlcInjector(sim, memory, n_threads=mlc_threads, delay=mlc_delay, chunk=64 * 1024)
+        mlc.start()
+
+    runs = [driver.run(max(n_requests // ports, concurrency)) for driver in drivers]
+    sim.run(until=sim.all_of(runs))
+    if mlc is not None:
+        mlc.stop()
+
+    results = [driver.result() for driver in drivers]
+    throughput = sum(result.throughput for result in results)
+    # Pool latency samples across ports.
+    latencies = [lat for result in results for lat in result.latency.samples]
+    latencies.sort()
+
+    def pct(fraction: float) -> float:
+        index = max(0, min(len(latencies) - 1, int(fraction * len(latencies)) - 1))
+        return to_usec(latencies[index])
+
+    return Measurement(
+        design=design,
+        n_workers=n_workers,
+        throughput_gbps=to_gbps(throughput),
+        avg_latency_us=to_usec(sum(latencies) / len(latencies)),
+        p99_latency_us=pct(0.99),
+        p999_latency_us=pct(0.999),
+        memory_read_gbps=to_gbps(memory.read_meter.rate()),
+        memory_write_gbps=to_gbps(memory.write_meter.rate()),
+        pcie_gbps=_tier_pcie_meters(tier),
+        mlc_gbps=to_gbps(mlc.meter.rate()) if mlc is not None else 0.0,
+    )

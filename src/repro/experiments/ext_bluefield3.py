@@ -1,0 +1,71 @@
+"""Extension: the BlueField-3 thought experiment of §3.4.
+
+The paper argues the *upcoming* SoC SmartNIC generation doesn't fix the
+middle-tier problem: BlueField-3 drops the compression engine, its 16
+Arm cores compress at ~50 Gb/s combined, and its device DDR delivers
+~500 Gb/s against 400 Gb/s of networking with ~3.5x payload passes.
+This experiment instantiates that card as a middle tier and compares it
+with BlueField-2 and a 400 Gb/s-class SmartDS (4 ports): achieved
+throughput vs networking capability.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, measure_design
+from repro.middletier import Testbed
+from repro.middletier.soc_smartnic import BlueField3MiddleTier
+from repro.params import DEFAULT_PLATFORM, PlatformSpec
+from repro.sim import Simulator
+from repro.telemetry.reporting import format_table
+from repro.units import to_gbps
+from repro.workloads import ClientDriver, WriteRequestFactory
+
+
+def _measure_bf3(platform: PlatformSpec, n_requests: int) -> float:
+    sim = Simulator()
+    testbed = Testbed(sim, platform)
+    tier = BlueField3MiddleTier(sim, testbed)
+    driver = ClientDriver(
+        sim, tier, WriteRequestFactory(platform, seed=1), concurrency=256
+    )
+    result = sim.run(until=driver.run(n_requests))
+    return to_gbps(result.throughput)
+
+
+def run(quick: bool = False, platform: PlatformSpec | None = None) -> ExperimentResult:
+    """Compare achieved throughput against networking ability."""
+    platform = platform or DEFAULT_PLATFORM
+    n_requests = 1200 if quick else 5000
+
+    bf2 = measure_design("BF2", n_workers=2, n_requests=n_requests, concurrency=256, platform=platform)
+    bf3_gbps = _measure_bf3(platform, n_requests)
+    smartds = measure_design(
+        "SmartDS-4", n_workers=0, n_requests=n_requests * 2, concurrency=192, platform=platform
+    )
+
+    rows = [
+        ["BF2", 200, round(bf2.throughput_gbps, 1), round(bf2.throughput_gbps / 200, 2)],
+        ["BF3", 400, round(bf3_gbps, 1), round(bf3_gbps / 400, 2)],
+        [
+            "SmartDS-4",
+            400,
+            round(smartds.throughput_gbps, 1),
+            round(smartds.throughput_gbps / 400, 2),
+        ],
+    ]
+    text = format_table(
+        ["design", "network (Gb/s)", "achieved (Gb/s)", "fraction of network"],
+        rows,
+        title="Networking ability vs achieved middle-tier throughput",
+    )
+    return ExperimentResult(
+        experiment_id="ext-bf3",
+        title="BlueField-3 thought experiment (§3.4)",
+        text=text,
+        data={
+            "bf2_gbps": bf2.throughput_gbps,
+            "bf3_gbps": bf3_gbps,
+            "smartds4_gbps": smartds.throughput_gbps,
+            "paper": {"bf3_arm_compression_gbps": 50, "bf3_network_gbps": 400},
+        },
+    )

@@ -1,0 +1,91 @@
+"""Extension: multi-tenant fairness on one middle-tier server.
+
+A cloud middle tier "must concurrently serve millions of VMs" (§1);
+each server multiplexes many tenants. This extension runs several equal
+closed-loop tenants against one middle tier and reports per-tenant
+throughput plus Jain's fairness index — checking that neither the
+worker pool (CPU-only) nor the Split/engine pipeline (SmartDS)
+starves anyone.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, build_tier
+from repro.hostmodel.memory import MemorySubsystem
+from repro.middletier import Testbed
+from repro.params import DEFAULT_PLATFORM, PlatformSpec
+from repro.sim import Simulator
+from repro.telemetry.metrics import jain_fairness
+from repro.telemetry.reporting import format_table
+from repro.units import to_gbps
+from repro.workloads import ClientDriver, WriteRequestFactory
+
+DESIGNS = {"CPU-only": 48, "SmartDS-1": 2}
+
+
+def measure_tenants(
+    design: str,
+    n_workers: int,
+    n_tenants: int,
+    n_requests_per_tenant: int,
+    platform: PlatformSpec | None = None,
+) -> dict:
+    """Run `n_tenants` equal tenants; returns per-tenant stats + fairness."""
+    if n_tenants < 1:
+        raise ValueError("need at least one tenant")
+    platform = platform or DEFAULT_PLATFORM
+    sim = Simulator()
+    testbed = Testbed(sim, platform)
+    memory = MemorySubsystem.for_host(sim, platform.host)
+    tier = build_tier(sim, testbed, design, n_workers, memory)
+    drivers = [
+        ClientDriver(
+            sim,
+            tier,
+            WriteRequestFactory(platform, vm_id=f"tenant{i}", seed=i + 1),
+            concurrency=max(4, 256 // n_tenants),
+        )
+        for i in range(n_tenants)
+    ]
+    runs = [driver.run(n_requests_per_tenant) for driver in drivers]
+    sim.run(until=sim.all_of(runs))
+    results = [driver.result() for driver in drivers]
+    throughputs = [to_gbps(result.throughput) for result in results]
+    return {
+        "per_tenant_gbps": throughputs,
+        "total_gbps": sum(throughputs),
+        "fairness": jain_fairness(throughputs),
+        "p99_us": [result.latency.percentile(0.99) * 1e6 for result in results],
+    }
+
+
+def run(quick: bool = False, platform: PlatformSpec | None = None) -> ExperimentResult:
+    """Fairness across 8 equal tenants per design."""
+    platform = platform or DEFAULT_PLATFORM
+    n_tenants = 4 if quick else 8
+    per_tenant = 400 if quick else 1200
+    rows = []
+    data = {}
+    for design, workers in DESIGNS.items():
+        stats = measure_tenants(design, workers, n_tenants, per_tenant, platform)
+        data[design] = stats
+        rows.append(
+            [
+                design,
+                n_tenants,
+                round(stats["total_gbps"], 1),
+                round(min(stats["per_tenant_gbps"]), 2),
+                round(max(stats["per_tenant_gbps"]), 2),
+                round(stats["fairness"], 4),
+            ]
+        )
+    text = format_table(
+        ["design", "tenants", "total (Gb/s)", "min tenant", "max tenant", "Jain index"],
+        rows,
+    )
+    return ExperimentResult(
+        experiment_id="ext-tenants",
+        title="Multi-tenant fairness on one middle-tier server",
+        text=text,
+        data=data,
+    )

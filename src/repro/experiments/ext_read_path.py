@@ -1,0 +1,89 @@
+"""Extension: the read path (§2.2.2).
+
+The paper's evaluation focuses on writes (5x more frequent, and CPU
+decompression is ~7x faster than compression, §2.2.3), but it describes
+the read path in full: middle tier fetches the compressed block from a
+replica, decompresses it, and returns it to the VM. This extension
+measures read latency across the designs:
+
+- CPU-only decompresses on a core (fast — the 7x factor);
+- Acc round-trips the block through its PCIe FPGA;
+- SmartDS lands the storage reply's payload in HBM via a mixed recv and
+  decompresses on the port engine, so host memory stays untouched even
+  on reads.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, build_tier
+from repro.hostmodel.memory import MemorySubsystem
+from repro.middletier import Testbed
+from repro.params import DEFAULT_PLATFORM, PlatformSpec
+from repro.sim import Simulator
+from repro.telemetry.reporting import format_table
+from repro.units import to_usec
+from repro.workloads import ClientDriver, WriteRequestFactory
+
+DESIGNS = {"CPU-only": 4, "Acc": 2, "BF2": 2, "SmartDS-1": 2}
+
+
+def measure_reads(
+    design: str,
+    n_workers: int,
+    n_writes: int,
+    n_reads: int,
+    concurrency: int = 8,
+    platform: PlatformSpec | None = None,
+) -> dict:
+    """Write `n_writes` blocks, then read `n_reads` of them; returns stats."""
+    platform = platform or DEFAULT_PLATFORM
+    sim = Simulator()
+    testbed = Testbed(sim, platform)
+    memory = MemorySubsystem.for_host(sim, platform.host)
+    tier = build_tier(sim, testbed, design, n_workers, memory)
+    driver = ClientDriver(
+        sim, tier, WriteRequestFactory(platform, seed=4), concurrency=concurrency
+    )
+    sim.run(until=driver.run(n_writes))
+    memory_before = memory.total_bytes
+    lbas = [i % n_writes for i in range(n_reads)]
+    result = sim.run(until=driver.run_reads(lbas, concurrency=concurrency))
+    summary = result.latency.summary()
+    return {
+        "requests": result.requests,
+        "avg_us": to_usec(summary["avg"]),
+        "p99_us": to_usec(summary["p99"]),
+        "memory_bytes_during_reads": memory.total_bytes - memory_before,
+        "payload_bytes": result.payload_bytes,
+    }
+
+
+def run(quick: bool = False, platform: PlatformSpec | None = None) -> ExperimentResult:
+    """Measure read serving across the designs."""
+    platform = platform or DEFAULT_PLATFORM
+    n_writes = 32 if quick else 64
+    n_reads = 120 if quick else 600
+    rows = []
+    data = {}
+    for design, workers in DESIGNS.items():
+        stats = measure_reads(design, workers, n_writes, n_reads, platform=platform)
+        data[design] = stats
+        rows.append(
+            [
+                design,
+                stats["requests"],
+                round(stats["avg_us"], 1),
+                round(stats["p99_us"], 1),
+                stats["memory_bytes_during_reads"],
+            ]
+        )
+    text = format_table(
+        ["design", "reads", "avg (us)", "p99 (us)", "host DRAM bytes during reads"],
+        rows,
+    )
+    return ExperimentResult(
+        experiment_id="ext-reads",
+        title="Read path (§2.2.2) across designs",
+        text=text,
+        data=data,
+    )

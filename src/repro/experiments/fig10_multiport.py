@@ -1,0 +1,70 @@
+"""Figure 10: effect of the number of network ports.
+
+SmartDS with 1/2/4/6 ports (the paper simulates SmartDS-6 from the
+smaller configurations because its QSFP FMC module was broken; we can
+simply instantiate it). Expected shape: throughput scales linearly in
+ports; average and tail latency stay flat; host memory and PCIe
+bandwidth stay negligible.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, Measurement, measure_design
+from repro.params import DEFAULT_PLATFORM, PlatformSpec
+from repro.telemetry.reporting import format_table
+
+PORT_SWEEP = (1, 2, 4, 6)
+QUICK_PORTS = (1, 2)
+
+
+def run(quick: bool = False, platform: PlatformSpec | None = None) -> ExperimentResult:
+    """Regenerate Fig. 10 a-c."""
+    platform = platform or DEFAULT_PLATFORM
+    ports_swept = QUICK_PORTS if quick else PORT_SWEEP
+    n_requests_per_port = 1000 if quick else 4000
+    measurements: list[tuple[int, Measurement]] = []
+    rows = []
+    for ports in ports_swept:
+        m = measure_design(
+            f"SmartDS-{ports}",
+            n_workers=0,  # default: two per port
+            n_requests=n_requests_per_port * ports,
+            concurrency=256,
+            platform=platform,
+        )
+        measurements.append((ports, m))
+        rows.append(
+            [
+                ports,
+                round(m.throughput_gbps, 1),
+                round(m.avg_latency_us, 1),
+                round(m.p99_latency_us, 1),
+                round(m.p999_latency_us, 1),
+                round(m.memory_read_gbps + m.memory_write_gbps, 2),
+                round(sum(m.pcie_gbps.values()), 2),
+            ]
+        )
+    text = format_table(
+        [
+            "ports",
+            "tput (Gb/s)",
+            "avg (us)",
+            "p99 (us)",
+            "p999 (us)",
+            "host mem (Gb/s)",
+            "PCIe (Gb/s)",
+        ],
+        rows,
+    )
+    base = measurements[0][1].throughput_gbps
+    scaling = {ports: m.throughput_gbps / base for ports, m in measurements}
+    return ExperimentResult(
+        experiment_id="fig10",
+        title="Effect of the number of network ports",
+        text=text,
+        data={
+            "measurements": measurements,
+            "scaling_vs_one_port": scaling,
+            "paper": {"linear_scaling": True, "latency_flat": True},
+        },
+    )

@@ -1,0 +1,141 @@
+"""Figure 7: throughput and latency of serving write requests.
+
+Sweeps the number of worker threads for each middle-tier design and
+reports achieved throughput (a), average latency (b), p99 (c) and p999
+(d), reproducing the paper's observations:
+
+- "SmartDS-1 and Acc only require two threads to reach the peak
+  throughput, while CPU-only requires nearly all 48 logical cores";
+- BF2 plateaus at its ~40 Gb/s compression engine;
+- Acc has the highest unloaded average latency (extra PCIe crossings
+  plus the slow-clock FPGA pipeline); BF2 the lowest (no host);
+  SmartDS-1 sits near CPU-only.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, Measurement, measure_design
+from repro.params import DEFAULT_PLATFORM, PlatformSpec
+from repro.telemetry.reporting import format_table
+
+#: Worker-thread sweep per design (the paper's x axis).
+CORE_SWEEP = {
+    "CPU-only": (1, 2, 4, 8, 16, 24, 32, 48),
+    "Acc": (1, 2, 4, 8),
+    "BF2": (1, 2, 4, 8),
+    "SmartDS-1": (1, 2, 4),
+}
+
+QUICK_SWEEP = {
+    "CPU-only": (2, 8, 24, 48),
+    "Acc": (1, 2),
+    "BF2": (1, 2),
+    "SmartDS-1": (1, 2),
+}
+
+
+def _concurrency_for(design: str, n_workers: int) -> int:
+    if design == "CPU-only":
+        # Compression-bound workers: keep ~6 requests per worker in flight.
+        return min(512, max(16, 6 * n_workers))
+    return 256
+
+
+def sweep(
+    quick: bool = False, platform: PlatformSpec | None = None
+) -> dict[str, list[Measurement]]:
+    """Run the full Fig. 7 sweep; shared with Fig. 8."""
+    platform = platform or DEFAULT_PLATFORM
+    n_requests = 1200 if quick else 6000
+    plan = QUICK_SWEEP if quick else CORE_SWEEP
+    results: dict[str, list[Measurement]] = {}
+    for design, cores in plan.items():
+        results[design] = [
+            measure_design(
+                design,
+                n_workers=n,
+                n_requests=n_requests,
+                concurrency=_concurrency_for(design, n),
+                platform=platform,
+            )
+            for n in cores
+        ]
+    return results
+
+
+def unloaded_latency(
+    quick: bool = False, platform: PlatformSpec | None = None
+) -> dict[str, Measurement]:
+    """Latency at light load (the paper's "when not overloaded" regime).
+
+    Expected ordering: Acc highest (two extra PCIe crossings plus the
+    slow-clock engine pipeline), BF2 lowest (no host communication),
+    SmartDS-1 about level with CPU-only.
+    """
+    platform = platform or DEFAULT_PLATFORM
+    n_requests = 400 if quick else 2000
+    return {
+        design: measure_design(
+            design,
+            n_workers=2,
+            n_requests=n_requests,
+            concurrency=4,
+            platform=platform,
+        )
+        for design in ("CPU-only", "Acc", "BF2", "SmartDS-1")
+    }
+
+
+def run(quick: bool = False, platform: PlatformSpec | None = None) -> ExperimentResult:
+    """Regenerate Fig. 7 a-d."""
+    results = sweep(quick, platform)
+    rows = []
+    for design, measurements in results.items():
+        for m in measurements:
+            rows.append(
+                [
+                    design,
+                    m.n_workers,
+                    round(m.throughput_gbps, 1),
+                    round(m.avg_latency_us, 1),
+                    round(m.p99_latency_us, 1),
+                    round(m.p999_latency_us, 1),
+                ]
+            )
+    text = format_table(
+        ["design", "cores", "tput (Gb/s)", "avg (us)", "p99 (us)", "p999 (us)"],
+        rows,
+        title="(saturated: throughput is Fig. 7a; latency shows queueing)",
+    )
+    light = unloaded_latency(quick, platform)
+    light_rows = [
+        [
+            design,
+            round(m.avg_latency_us, 1),
+            round(m.p99_latency_us, 1),
+            round(m.p999_latency_us, 1),
+        ]
+        for design, m in light.items()
+    ]
+    text += "\n\n" + format_table(
+        ["design", "avg (us)", "p99 (us)", "p999 (us)"],
+        light_rows,
+        title="(not overloaded: Fig. 7b-d's left edge)",
+    )
+    peaks = {d: max(m.throughput_gbps for m in ms) for d, ms in results.items()}
+    return ExperimentResult(
+        experiment_id="fig7",
+        title="Throughput and latency of different approaches",
+        text=text,
+        data={
+            "measurements": results,
+            "peaks_gbps": peaks,
+            "unloaded_latency": light,
+            "paper": {
+                "cpu_peak_needs_all_cores": True,
+                "smartds_acc_peak_threads": 2,
+                "bf2_peak_gbps": 40,
+                "unloaded_order": ["BF2", "CPU-only", "SmartDS-1", "Acc"],
+            },
+        },
+    )

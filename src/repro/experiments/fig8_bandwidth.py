@@ -1,0 +1,89 @@
+"""Figure 8: host memory and CPU PCIe link bandwidth per approach.
+
+Runs the write-serving workload and meters (a) host DRAM read/write
+bandwidth and (b) per-PCIe-device bandwidth, for CPU-only, Acc with and
+without DDIO, and SmartDS-1. The paper's observations to reproduce:
+
+- CPU-only consumes balanced, growing memory read and write bandwidth;
+- Acc w/ DDIO consumes growing memory *write* bandwidth but almost no
+  read bandwidth; disabling DDIO makes reads reappear;
+- Acc doubles PCIe traffic (NIC plus FPGA both near line rate);
+- SmartDS-1 consumes almost no host memory bandwidth and only ~2 % of
+  a PCIe link (headers and completions).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, Measurement, measure_design
+from repro.params import DEFAULT_PLATFORM, PlatformSpec
+from repro.telemetry.reporting import format_table
+
+SWEEP = {
+    "CPU-only": (8, 24, 48),
+    "Acc": (1, 2, 4),
+    "Acc w/o DDIO": (1, 2, 4),
+    "SmartDS-1": (1, 2),
+}
+
+QUICK_SWEEP = {
+    "CPU-only": (8, 48),
+    "Acc": (2,),
+    "Acc w/o DDIO": (2,),
+    "SmartDS-1": (2,),
+}
+
+
+def run(quick: bool = False, platform: PlatformSpec | None = None) -> ExperimentResult:
+    """Regenerate Fig. 8 a-b."""
+    platform = platform or DEFAULT_PLATFORM
+    n_requests = 1200 if quick else 6000
+    plan = QUICK_SWEEP if quick else SWEEP
+    measurements: dict[str, list[Measurement]] = {}
+    rows = []
+    for design, cores in plan.items():
+        measurements[design] = []
+        for n in cores:
+            concurrency = min(512, max(16, 6 * n)) if design == "CPU-only" else 256
+            m = measure_design(
+                design,
+                n_workers=n,
+                n_requests=n_requests,
+                concurrency=concurrency,
+                platform=platform,
+            )
+            measurements[design].append(m)
+            pcie_total = sum(m.pcie_gbps.values())
+            rows.append(
+                [
+                    design,
+                    n,
+                    round(m.throughput_gbps, 1),
+                    round(m.memory_read_gbps, 1),
+                    round(m.memory_write_gbps, 1),
+                    round(pcie_total, 1),
+                ]
+            )
+    text = format_table(
+        [
+            "design",
+            "cores",
+            "tput (Gb/s)",
+            "mem read (Gb/s)",
+            "mem write (Gb/s)",
+            "PCIe total (Gb/s)",
+        ],
+        rows,
+    )
+    return ExperimentResult(
+        experiment_id="fig8",
+        title="Host memory and CPU PCIe link bandwidth usage",
+        text=text,
+        data={
+            "measurements": measurements,
+            "paper": {
+                "acc_ddio_reads_vanish": True,
+                "smartds_memory_near_zero": True,
+                "smartds_pcie_fraction_of_link": 0.02,
+            },
+        },
+    )

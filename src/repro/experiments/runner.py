@@ -1,0 +1,126 @@
+"""Command-line runner: regenerate any (or all) paper artifacts.
+
+Usage::
+
+    smartds-repro all --quick
+    smartds-repro fig7
+    python -m repro.experiments.runner table1 fig10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+import typing
+
+from repro.experiments import (
+    ablations,
+    ext_bluefield3,
+    ext_load_latency,
+    ext_maintenance,
+    ext_multitenancy,
+    ext_read_path,
+    fig4_memory_interference,
+    fig7_throughput_latency,
+    fig8_bandwidth,
+    fig9_interference,
+    fig10_multiport,
+    sec55_multi_nic,
+    table1_pcie,
+    table3_resources,
+    validation,
+)
+
+EXPERIMENTS: dict[str, typing.Any] = {
+    "ablations": ablations,
+    "ext-bf3": ext_bluefield3,
+    "ext-load": ext_load_latency,
+    "ext-maint": ext_maintenance,
+    "ext-tenants": ext_multitenancy,
+    "ext-reads": ext_read_path,
+    "table1": table1_pcie,
+    "table3": table3_resources,
+    "fig4": fig4_memory_interference,
+    "fig7": fig7_throughput_latency,
+    "fig8": fig8_bandwidth,
+    "fig9": fig9_interference,
+    "fig10": fig10_multiport,
+    "sec55": sec55_multi_nic,
+    "validate": validation,
+}
+
+
+def main(argv: typing.Sequence[str] | None = None) -> int:
+    """Entry point for the ``smartds-repro`` script."""
+    parser = argparse.ArgumentParser(
+        prog="smartds-repro",
+        description="Regenerate the SmartDS paper's tables and figures "
+        "on the simulated testbed.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which artifacts to regenerate",
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="also render ASCII charts for results that carry series data",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller sweeps and request counts (for smoke runs)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="FILE",
+        help="dump all selected results to FILE as JSON (for external plotting)",
+    )
+    args = parser.parse_args(argv)
+
+    selected = sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    results = []
+    for name in selected:
+        started = time.time()
+        result = EXPERIMENTS[name].run(quick=args.quick)
+        results.append(result)
+        print(result.render())
+        if args.chart:
+            charts = render_charts(result)
+            if charts:
+                print("\n" + charts)
+        print(f"[{name} completed in {time.time() - started:.1f}s]\n")
+    if args.json:
+        from repro.experiments.export import dump_results
+
+        dump_results(results, args.json)
+        print(f"[wrote {len(results)} result(s) to {args.json}]")
+    return 0
+
+
+def render_charts(result: typing.Any) -> str:
+    """Render ASCII charts for any Series the result's data carries,
+    plus a bar chart for per-design peak dictionaries."""
+    from repro.telemetry.charts import bar_chart, line_chart
+    from repro.telemetry.reporting import Series
+
+    pieces = []
+    series = [value for value in result.data.values() if isinstance(value, Series)]
+    by_x: dict[tuple, list[Series]] = {}
+    for one in series:
+        by_x.setdefault(one.x, []).append(one)
+    for group in by_x.values():
+        pieces.append(line_chart(group, title=result.title))
+    peaks = result.data.get("peaks_gbps")
+    if isinstance(peaks, dict) and peaks:
+        pieces.append(
+            bar_chart(list(peaks), list(peaks.values()), title="peak throughput", unit="Gb/s")
+        )
+    return "\n\n".join(pieces)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Table 3: FPGA resource consumption.
+
+Reproduces the published post-implementation resource rows for the
+accelerator design and SmartDS-1/2/4/6, with utilization percentages
+against the VCU128 totals.
+"""
+
+from __future__ import annotations
+
+from repro.core.resources import design_resources, utilization
+from repro.experiments.common import ExperimentResult
+from repro.telemetry.reporting import format_table
+
+
+def run(quick: bool = False, platform=None) -> ExperimentResult:
+    """Regenerate Table 3 (the model is analytic; `quick` is ignored)."""
+    configurations = [("Acc", ("acc", 1))] + [
+        (f"SmartDS-{ports}", ("smartds", ports)) for ports in (1, 2, 4, 6)
+    ]
+    rows = []
+    data = {}
+    for label, (design, ports) in configurations:
+        resources = design_resources(design, ports)
+        util = utilization(resources)
+        rows.append(
+            [
+                label,
+                f"{resources.luts_k:.0f} ({util['luts']:.1%})",
+                f"{resources.regs_k:.0f} ({util['regs']:.1%})",
+                f"{resources.brams:.0f} ({util['brams']:.1%})",
+            ]
+        )
+        data[label] = {
+            "luts_k": resources.luts_k,
+            "regs_k": resources.regs_k,
+            "brams": resources.brams,
+            "utilization": util,
+        }
+    text = format_table(["Name", "LUTs (K)", "REGS (K)", "BRAMs"], rows)
+    return ExperimentResult(
+        experiment_id="table3",
+        title="FPGA resource consumption",
+        text=text,
+        data=data,
+    )

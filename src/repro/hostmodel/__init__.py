@@ -1,0 +1,14 @@
+"""Host hardware models: CPU complex, memory subsystem, LLC/DDIO, PCIe.
+
+These models reproduce the three pressures §3 of the paper measures on a
+CPU-based middle-tier server — computation (LZ4 on cores), memory
+bandwidth (Fig. 4), and PCIe interconnect (Table 1) — as queueing on
+shared :class:`~repro.sim.bandwidth.BandwidthServer` pipes.
+"""
+
+from repro.hostmodel.cache import DdioLlc
+from repro.hostmodel.cpu import CpuComplex
+from repro.hostmodel.memory import MemorySubsystem
+from repro.hostmodel.pcie import PcieLink
+
+__all__ = ["CpuComplex", "DdioLlc", "MemorySubsystem", "PcieLink"]

@@ -1,0 +1,76 @@
+"""PCIe interconnect model.
+
+A PCIe 3.0 x16 link carries ~104 Gb/s per direction; the paper shows
+(Table 1) that its DMA latency grows from ~1.4 us to ~7-11 us when the
+link is heavily loaded. We model each direction as a FIFO
+:class:`~repro.sim.bandwidth.BandwidthServer` with a fixed per-leg
+propagation delay:
+
+- a **DMA read** (device pulls host memory, "H2D" data direction) sends
+  a read-request leg upstream, then receives the data downstream in
+  read-completion chunks — each chunk queues separately, so loaded
+  reads hurt more than loaded writes, as Table 1 observes;
+- a **DMA write** (device pushes to host memory, "D2H") sends the data
+  upstream in one transfer.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.params import HostSpec
+from repro.sim.bandwidth import BandwidthServer
+from repro.telemetry.metrics import BandwidthMeter
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import Simulator
+    from repro.sim.process import Process
+
+#: Size of the read-request / completion-credit control leg.
+_CONTROL_BYTES = 64
+
+
+class PcieLink:
+    """One PCIe slot: paired upstream (D2H) and downstream (H2D) pipes."""
+
+    def __init__(self, sim: "Simulator", spec: HostSpec | None = None, name: str = "pcie") -> None:
+        self.sim = sim
+        self.spec = spec or HostSpec()
+        self.name = name
+        overhead = self.spec.pcie_leg_latency
+        self.h2d = BandwidthServer(
+            sim, rate=self.spec.pcie_rate, name=f"{name}.h2d", per_transfer_overhead=overhead
+        )
+        self.d2h = BandwidthServer(
+            sim, rate=self.spec.pcie_rate, name=f"{name}.d2h", per_transfer_overhead=overhead
+        )
+        # Data meters: count payload bytes only. Control TLPs (read
+        # requests, credits) occupy the link but are not data bandwidth,
+        # matching how PCIe bandwidth is normally reported.
+        self.h2d_meter = BandwidthMeter(f"{name}.h2d")
+        self.d2h_meter = BandwidthMeter(f"{name}.d2h")
+
+    def dma_read(self, nbytes: int, priority: int = 0) -> "Process":
+        """Device reads `nbytes` of host memory; fires when all data arrived."""
+        return self.sim.process(self._dma_read(nbytes, priority), name=f"{self.name}.read")
+
+    def dma_write(self, nbytes: int, priority: int = 0) -> "Process":
+        """Device writes `nbytes` into host memory; fires when posted upstream."""
+        return self.sim.process(self._dma_write(nbytes, priority), name=f"{self.name}.write")
+
+    def _dma_read(self, nbytes: int, priority: int) -> typing.Generator:
+        # Read request travels upstream first (control, unmetered)...
+        yield self.d2h.transfer(_CONTROL_BYTES, priority=priority)
+        # ...then completions stream back in chunks, each queueing on the
+        # downstream direction.
+        chunk = self.spec.pcie_read_chunk
+        remaining = nbytes
+        while remaining > 0:
+            step = min(chunk, remaining)
+            yield self.h2d.transfer(step, priority=priority, meter=self.h2d_meter)
+            remaining -= step
+        return nbytes
+
+    def _dma_write(self, nbytes: int, priority: int) -> typing.Generator:
+        yield self.d2h.transfer(max(nbytes, 1), priority=priority, meter=self.d2h_meter)
+        return nbytes

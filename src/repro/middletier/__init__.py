@@ -1,0 +1,46 @@
+"""Middle-tier server designs.
+
+The paper compares four middle-tier architectures (Fig. 1) plus
+SmartDS. This package implements the baselines and the shared
+write/read-path machinery:
+
+- :class:`~repro.middletier.cpu_only.CpuOnlyMiddleTier` -- Fig. 1a,
+  compression on host cores;
+- :class:`~repro.middletier.accelerator.AcceleratorMiddleTier` --
+  Fig. 1b, FPGA compression behind a second PCIe device (±DDIO);
+- :class:`~repro.middletier.naive_fpga.NaiveFpgaMiddleTier` -- Fig. 1c,
+  everything offloaded to the SmartNIC (no host flexibility);
+- :class:`~repro.middletier.soc_smartnic.BlueField2MiddleTier` --
+  Fig. 1d, Arm cores + on-board engine with weak device memory.
+
+The SmartDS middle tier lives in :mod:`repro.core.server`, built on the
+SmartDS device and its AAMS API.
+"""
+
+from repro.middletier.accelerator import AcceleratorMiddleTier
+from repro.middletier.base import MiddleTierServer, ResponseMatcher, RetainedWrite
+from repro.middletier.cluster import Testbed
+from repro.middletier.cpu_only import CpuOnlyMiddleTier
+from repro.middletier.maintenance import (
+    HeartbeatMonitor,
+    LsmCompactionService,
+    SnapshotService,
+)
+from repro.middletier.mapping import AddressMapper
+from repro.middletier.naive_fpga import NaiveFpgaMiddleTier
+from repro.middletier.soc_smartnic import BlueField2MiddleTier
+
+__all__ = [
+    "AcceleratorMiddleTier",
+    "AddressMapper",
+    "BlueField2MiddleTier",
+    "CpuOnlyMiddleTier",
+    "HeartbeatMonitor",
+    "LsmCompactionService",
+    "MiddleTierServer",
+    "NaiveFpgaMiddleTier",
+    "ResponseMatcher",
+    "RetainedWrite",
+    "SnapshotService",
+    "Testbed",
+]

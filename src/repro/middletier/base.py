@@ -1,0 +1,343 @@
+"""Shared middle-tier machinery.
+
+All middle-tier designs serve the same protocol (§2.2):
+
+- ``write_request`` from a VM: pick replica targets, (usually)
+  compress, write to 3 storage servers, ack the VM once all replicas
+  are durable; ``latency_sensitive`` writes skip compression, exactly
+  as the paper's Listing 1 does;
+- ``read_request`` from a VM: fetch the compressed block from one
+  replica, decompress, reply.
+
+What differs between designs is *where* bytes live and *which* hardware
+pays for parsing, compression, and data movement — subclasses implement
+those hooks while this base class owns dispatch, worker pools,
+replication with time-out driven fail-over, and completion matching.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+import typing
+
+from repro.middletier.cluster import Testbed
+from repro.net.message import Message, Payload, decompress_payload
+from repro.net.roce import QueuePair, RoceEndpoint
+from repro.params import PlatformSpec
+from repro.sim.events import AnyOf, Event
+from repro.sim.resources import Store
+from repro.telemetry.metrics import Counter
+from repro.units import msec
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import Simulator
+    from repro.storage.server import StorageServer
+
+
+class ResponseMatcher:
+    """Routes reply messages on a QP to whoever awaits them by request id."""
+
+    def __init__(self, sim: "Simulator", qp: QueuePair) -> None:
+        self.sim = sim
+        self.qp = qp
+        self._waiting: dict[int, Event] = {}
+        self.unmatched = Store(sim, name="unmatched-replies")
+        sim.process(self._loop(), name="response-matcher")
+
+    def expect(self, request_id: int) -> Event:
+        """Event that fires with the reply to `request_id`."""
+        if request_id in self._waiting:
+            raise ValueError(f"already expecting a reply to request {request_id}")
+        event = self.sim.event(name=f"reply:{request_id}")
+        self._waiting[request_id] = event
+        return event
+
+    def forget(self, request_id: int) -> None:
+        """Stop waiting for a reply (time-out path); late replies are dropped."""
+        self._waiting.pop(request_id, None)
+
+    def _loop(self) -> typing.Generator:
+        while True:
+            message: Message = yield self.qp.recv()
+            request_id = message.header.get("in_reply_to")
+            event = self._waiting.pop(request_id, None) if request_id is not None else None
+            if event is not None:
+                event.succeed(message)
+            else:
+                self.unmatched.put(message)
+
+
+@dataclasses.dataclass
+class RetainedWrite:
+    """A served write kept in middle-tier memory for LSM compaction.
+
+    §2.2.3: "the middle-tier server would not release the memory that
+    holds the write request even if the request has finished".
+    """
+
+    block_id: int
+    payload: Payload
+    replicas: tuple[tuple[str, int], ...]  # (server address, stored location)
+
+
+class MiddleTierServer(abc.ABC):
+    """Base class of every middle-tier design."""
+
+    #: Human-readable design name ("CPU-only", "Acc", ...).
+    design_name = "abstract"
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        testbed: Testbed,
+        n_workers: int,
+        address: str = "tier0",
+        replica_timeout: float = msec(5),
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"need at least one worker, got {n_workers}")
+        self.sim = sim
+        self.testbed = testbed
+        self.platform: PlatformSpec = testbed.platform
+        self.n_workers = n_workers
+        self.address = address
+        self.replica_timeout = replica_timeout
+        self.requests_completed = Counter(f"{address}.completed")
+        self.payload_bytes_served = Counter(f"{address}.payload-bytes")
+        self.failovers = Counter(f"{address}.failovers")
+        self._requests: Store = Store(sim, name=f"{address}.requests")
+        self._storage_links: dict[str, tuple[QueuePair, ResponseMatcher]] = {}
+        self._block_locations: dict[tuple[int, int], tuple[str, ...]] = {}
+        #: set True (e.g. by the LSM compaction service) to keep served
+        #: writes in memory for later compaction (§2.2.3).
+        self.retain_writes = False
+        self._chunk_log: dict[int, list[RetainedWrite]] = {}
+        self._started = False
+        self._build()
+        self._connect_storage()
+
+    # -- subclass surface -------------------------------------------------
+
+    @abc.abstractmethod
+    def _build(self) -> None:
+        """Create the design's hardware; must set ``self.client_endpoint``
+        (a :class:`RoceEndpoint` VMs connect to) and
+        ``self.storage_endpoint`` (the endpoint used towards storage —
+        often the same object)."""
+
+    @abc.abstractmethod
+    def _handle_write(
+        self, worker_index: int, qp: QueuePair, message: Message
+    ) -> typing.Generator:
+        """Worker-synchronous part of serving one write request.
+
+        Must end by calling :meth:`_spawn_completion` with the payload
+        to persist (compressed or raw), then return so the worker can
+        pick up the next request.
+        """
+
+    def _decompress_cost(self, worker_index: int, payload: Payload) -> typing.Generator:
+        """Charge the design's resources for decompressing one payload.
+
+        Default: free (subclasses charge CPU/engine time). The ~7x
+        CPU-decompression speed advantage (§2.2.3) is modeled where a
+        design overrides this.
+        """
+        return
+        yield  # pragma: no cover - generator form
+
+    # -- wiring ------------------------------------------------------------
+
+    client_endpoint: RoceEndpoint
+    storage_endpoint: RoceEndpoint
+
+    def attach_client(self, client_endpoint: RoceEndpoint, port_index: int = 0) -> QueuePair:
+        """Connect a VM-side endpoint; returns the client's queue pair.
+
+        `port_index` selects the NIC port on multi-port designs and is
+        ignored by single-port ones.
+        """
+        qp = client_endpoint.connect(self._endpoint_for_port(port_index))
+        self.sim.process(self._dispatch(qp.peer), name=f"{self.address}.dispatch")
+        return qp
+
+    def _endpoint_for_port(self, port_index: int) -> RoceEndpoint:
+        if port_index != 0:
+            raise ValueError(f"{self.design_name} has a single port; got index {port_index}")
+        return self.client_endpoint
+
+    def _dispatch(self, qp: QueuePair) -> typing.Generator:
+        while True:
+            message: Message = yield qp.recv()
+            self._requests.put((qp, message))
+
+    def _connect_storage(self) -> None:
+        for server in self.testbed.storage_servers:
+            qp = server.accept_from(self.storage_endpoint)
+            self._storage_links[server.address] = (qp, ResponseMatcher(self.sim, qp))
+
+    def start(self) -> None:
+        """Spawn the worker pool (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for index in range(self.n_workers):
+            self.sim.process(self._worker(index), name=f"{self.address}.worker{index}")
+
+    # -- the worker loop ----------------------------------------------------
+
+    def _worker(self, index: int) -> typing.Generator:
+        while True:
+            qp, message = yield self._requests.get()
+            if message.kind == "write_request":
+                yield from self._handle_write(index, qp, message)
+            elif message.kind == "read_request":
+                yield from self._handle_read(index, qp, message)
+            else:
+                raise ValueError(f"{self.design_name} got unexpected message {message.kind!r}")
+
+    # -- write completion: replication, fail-over, VM ack --------------------
+
+    def _spawn_completion(self, qp: QueuePair, message: Message, payload: Payload) -> None:
+        """Persist `payload` to the replica set and ack the VM, off-worker."""
+        self.sim.process(
+            self._replicate_and_reply(qp, message, payload), name=f"{self.address}.complete"
+        )
+
+    def _replicate_and_reply(
+        self, qp: QueuePair, message: Message, payload: Payload
+    ) -> typing.Generator:
+        servers = self.testbed.policy.choose()
+        # Fail-over must never double-place a block: every retry excludes
+        # the whole original target set, not just the server that died.
+        targets = {server.address for server in servers}
+        writes = [
+            self.sim.process(self._write_replica(server, message, payload, exclude=targets))
+            for server in servers
+        ]
+        results = yield self.sim.all_of(writes)
+        replicas = tuple(results[write] for write in writes)
+        key = (message.header.get("chunk_id", 0), message.header.get("block_id", 0))
+        self._block_locations[key] = tuple(address for address, _location in replicas)
+        if self.retain_writes:
+            self._chunk_log.setdefault(key[0], []).append(
+                RetainedWrite(block_id=key[1], payload=payload, replicas=replicas)
+            )
+        reply = message.reply("write_reply", status="ok")
+        yield qp.send(reply)
+        self.requests_completed.add()
+        self.payload_bytes_served.add(message.payload_size)
+
+    def _write_replica(
+        self,
+        server: "StorageServer",
+        message: Message,
+        payload: Payload,
+        exclude: typing.Collection[str] = (),
+    ) -> typing.Generator:
+        """Write one replica; on time-out, fail over to another server.
+
+        `exclude` holds the other replicas' targets so a replacement is
+        never a server that already stores this block. Returns
+        ``(address, location)`` of the acknowledged copy.
+        """
+        attempts = 0
+        excluded: set[str] = set(exclude)
+        excluded.discard(server.address)
+        while True:
+            attempts += 1
+            qp, matcher = self._storage_link_for(server, message)
+            store_msg = Message(
+                kind="storage_write",
+                src=self.address,
+                dst=server.address,
+                header_size=message.header_size,
+                payload=payload,
+                header={
+                    "chunk_id": message.header.get("chunk_id", 0),
+                    "block_id": message.header.get("block_id", 0),
+                },
+            )
+            ack_event = matcher.expect(store_msg.request_id)
+            yield qp.send(store_msg)
+            deadline = self.sim.timeout(self.replica_timeout)
+            yield AnyOf(self.sim, [ack_event, deadline])
+            self.testbed.policy.complete(server)
+            if ack_event.triggered:
+                ack: Message = ack_event.value
+                return (server.address, ack.header.get("location", -1))
+            # Timed out: pick a replacement and retry (§2.2.3 fail-over).
+            matcher.forget(store_msg.request_id)
+            self.failovers.add()
+            excluded.add(server.address)
+            if attempts > len(self.testbed.storage_servers):
+                raise RuntimeError(f"write to {store_msg.header} failed on every server")
+            server = self._choose_replacement(excluded)
+
+    def _storage_link_for(
+        self, server: "StorageServer", message: Message
+    ) -> tuple[QueuePair, ResponseMatcher]:
+        """The (QP, matcher) to reach `server` for this request.
+
+        Multi-port designs override this to keep storage traffic on the
+        port the request arrived on.
+        """
+        return self._storage_links[server.address]
+
+    def _choose_replacement(self, excluded: set[str]) -> "StorageServer":
+        candidates = [
+            s
+            for s in self.testbed.storage_servers
+            if s.address not in excluded and not s.failed
+        ]
+        if not candidates:
+            raise RuntimeError("no healthy storage server left for fail-over")
+        chosen = min(candidates, key=lambda s: self.testbed.policy.outstanding(s))
+        self.testbed.policy.claim(chosen)
+        return chosen
+
+    # -- the read path --------------------------------------------------------
+
+    def _handle_read(
+        self, worker_index: int, qp: QueuePair, message: Message
+    ) -> typing.Generator:
+        """Serve a read (§2.2.2): fetch a replica, decompress, reply.
+
+        The storage round-trip runs off-worker; only parse/decompress
+        occupy the worker, mirroring the write path split.
+        """
+        yield self.sim.timeout(self.platform.host.parse_header_time)
+        self.sim.process(self._fetch_and_reply(worker_index, qp, message))
+
+    def _fetch_and_reply(
+        self, worker_index: int, qp: QueuePair, message: Message
+    ) -> typing.Generator:
+        key = (message.header.get("chunk_id", 0), message.header.get("block_id", 0))
+        locations = self._block_locations.get(key)
+        if not locations:
+            yield qp.send(message.reply("read_reply", status="not_found"))
+            return
+        server = self.testbed.server(locations[0])
+        storage_qp, matcher = self._storage_link_for(server, message)
+        fetch = Message(
+            kind="storage_read",
+            src=self.address,
+            dst=server.address,
+            header_size=message.header_size,
+            header={"chunk_id": key[0], "block_id": key[1]},
+        )
+        reply_event = matcher.expect(fetch.request_id)
+        yield storage_qp.send(fetch)
+        stored: Message = yield reply_event
+        if stored.kind != "storage_read_reply" or stored.payload is None:
+            yield qp.send(message.reply("read_reply", status="not_found"))
+            return
+        payload = stored.payload
+        if payload.is_compressed:
+            yield from self._decompress_cost(worker_index, payload)
+            payload = decompress_payload(payload)
+        response = message.reply("read_reply", status="ok")
+        response.payload = payload
+        yield qp.send(response)
+        self.requests_completed.add()

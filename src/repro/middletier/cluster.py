@@ -1,0 +1,54 @@
+"""Testbed wiring: the storage side of the experimental platform.
+
+Builds the back-end cluster the middle-tier designs write to — storage
+servers with their flash devices and the replication policy — mirroring
+the paper's setup of one request issuer, one middle-tier server, and
+three storage servers (§5.1), with more servers available for the
+multi-port/multi-NIC scaling experiments.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.params import PlatformSpec
+from repro.storage.replication import ReplicationPolicy
+from repro.storage.server import StorageServer
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import Simulator
+
+
+class Testbed:
+    """Storage servers plus the replica-placement policy."""
+
+    __test__ = False  # not a pytest class, despite the importable name
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        platform: PlatformSpec | None = None,
+        n_storage_servers: int | None = None,
+    ) -> None:
+        self.sim = sim
+        self.platform = platform or PlatformSpec()
+        count = n_storage_servers or self.platform.storage.replication
+        if count < self.platform.storage.replication:
+            raise ValueError(
+                f"{count} storage servers cannot host "
+                f"{self.platform.storage.replication}-way replication"
+            )
+        self.storage_servers = [
+            StorageServer(sim, f"storage{i}", network_spec=self.platform.network)
+            for i in range(count)
+        ]
+        self.policy = ReplicationPolicy(
+            self.storage_servers, replication=self.platform.storage.replication
+        )
+
+    def server(self, address: str) -> StorageServer:
+        """Look a storage server up by address."""
+        for candidate in self.storage_servers:
+            if candidate.address == address:
+                return candidate
+        raise KeyError(f"no storage server {address!r}")

@@ -1,0 +1,25 @@
+"""Network substrate: messages, ports, and a RoCE-like reliable transport.
+
+The disaggregated block storage system of the paper speaks RDMA (RoCE)
+between compute servers, the middle tier, and storage servers. This
+package models full-duplex 100 GbE ports as paired bandwidth servers and
+delivers whole RDMA messages reliably between queue pairs, with
+pluggable per-endpoint datapaths so hosts can charge PCIe/DRAM costs and
+SmartNICs can charge device-memory costs on ingress/egress.
+"""
+
+from repro.net.link import NetworkPort
+from repro.net.message import Message, Payload, compress_payload, decompress_payload
+from repro.net.roce import Datapath, NullDatapath, QueuePair, RoceEndpoint
+
+__all__ = [
+    "Datapath",
+    "Message",
+    "NetworkPort",
+    "NullDatapath",
+    "Payload",
+    "QueuePair",
+    "RoceEndpoint",
+    "compress_payload",
+    "decompress_payload",
+]

@@ -1,0 +1,36 @@
+"""Full-duplex network ports.
+
+A :class:`NetworkPort` is one 100 GbE port: independent transmit and
+receive directions, each a FIFO bandwidth server, with per-direction
+byte meters. Serialization happens at the sender's tx pipe and again at
+the receiver's rx pipe (store-and-forward through the fabric), so a
+congested receiver back-pressures all of its senders.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.sim.bandwidth import BandwidthServer
+from repro.telemetry.metrics import BandwidthMeter
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import Simulator
+
+
+class NetworkPort:
+    """One full-duplex network port with metered tx/rx directions."""
+
+    def __init__(self, sim: "Simulator", rate: float, name: str = "port") -> None:
+        self.sim = sim
+        self.name = name
+        self.rate = rate
+        self.tx = BandwidthServer(sim, rate=rate, name=f"{name}.tx")
+        self.rx = BandwidthServer(sim, rate=rate, name=f"{name}.rx")
+        self.tx_meter = BandwidthMeter(f"{name}.tx")
+        self.rx_meter = BandwidthMeter(f"{name}.rx")
+        self.tx.attach_meter(self.tx_meter)
+        self.rx.attach_meter(self.rx_meter)
+
+    def __repr__(self) -> str:
+        return f"<NetworkPort {self.name!r} rate={self.rate:g} B/s>"

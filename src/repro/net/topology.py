@@ -1,0 +1,75 @@
+"""Datacenter fabric topology.
+
+The paper's testbed is four servers behind one switch, but the
+disaggregated architecture it models (Fig. 2) spans racks: compute
+clusters, the middle tier, and storage clusters connected through a
+spine. This module places endpoints in racks and derives per-connection
+one-way latency from the number of switch hops, so experiments can
+study rack-locality effects (e.g. replicas spread across racks for
+fault tolerance cost extra spine hops).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.params import NetworkSpec
+from repro.units import usec
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.roce import RoceEndpoint
+
+
+@dataclasses.dataclass(frozen=True)
+class FabricSpec:
+    """Latency model of a two-tier (ToR + spine) Clos fabric."""
+
+    tor_latency: float = usec(0.6)  # one traversal of a top-of-rack switch
+    spine_latency: float = usec(0.9)  # one traversal of a spine switch
+    cable_latency: float = usec(0.15)  # per hop propagation
+
+    def one_way_latency(self, same_rack: bool) -> float:
+        """One-way latency between two endpoints.
+
+        Same rack: host - ToR - host (1 switch, 2 cables). Cross rack:
+        host - ToR - spine - ToR - host (3 switches, 4 cables).
+        """
+        if same_rack:
+            return self.tor_latency + 2 * self.cable_latency
+        return 2 * self.tor_latency + self.spine_latency + 4 * self.cable_latency
+
+
+class Fabric:
+    """Tracks endpoint placement and hands out per-connection latencies."""
+
+    def __init__(self, spec: FabricSpec | None = None) -> None:
+        self.spec = spec or FabricSpec()
+        self._racks: dict[str, str] = {}  # endpoint address -> rack name
+
+    def place(self, endpoint: "RoceEndpoint | str", rack: str) -> None:
+        """Put an endpoint (or address) in a rack."""
+        address = endpoint if isinstance(endpoint, str) else endpoint.address
+        self._racks[address] = rack
+
+    def rack_of(self, endpoint: "RoceEndpoint | str") -> str:
+        """The rack an endpoint was placed in."""
+        address = endpoint if isinstance(endpoint, str) else endpoint.address
+        if address not in self._racks:
+            raise KeyError(f"{address!r} has not been placed in a rack")
+        return self._racks[address]
+
+    def latency_between(self, a: "RoceEndpoint | str", b: "RoceEndpoint | str") -> float:
+        """One-way latency between two placed endpoints."""
+        return self.spec.one_way_latency(self.rack_of(a) == self.rack_of(b))
+
+    def network_spec_between(
+        self, a: "RoceEndpoint | str", b: "RoceEndpoint | str", base: NetworkSpec | None = None
+    ) -> NetworkSpec:
+        """A :class:`NetworkSpec` whose switch latency matches the path.
+
+        Hand this to the *connecting* endpoint so its queue pairs use
+        the topology-derived latency.
+        """
+        base = base or NetworkSpec()
+        return dataclasses.replace(base, switch_latency=self.latency_between(a, b))

@@ -1,0 +1,149 @@
+"""Platform calibration constants.
+
+Every number here is taken from the paper (§3, §5.1) or the product
+documents it cites, so all middle-tier designs draw timing from one
+place:
+
+- Host: 2x Xeon Silver 4214 (24 physical cores, 48 logical with SMT-2),
+  8-channel DDR4 with ~120 GB/s achievable bandwidth, 16 MiB LLC with
+  DDIO occupying 2 of 11 ways, PCIe 3.0 x16 at ~104 Gb/s achievable and
+  ~1.4 us unloaded round-trip latency (Table 1).
+- Network: 100 GbE ports (ConnectX-5 / VCU128), RDMA transport.
+- SmartDS device: up to 6 ports, one 100 Gb/s LZ4 engine per port, 8 GB
+  HBM at up to 3.4 Tb/s.
+- BlueField-2: 8 Arm A72 cores, ~40 Gb/s compression engine, device DDR
+  with ~0.7x of its theoretical bandwidth achievable.
+- Storage: 4 KB blocks, 64 B block-storage headers, 3-way replication,
+  tens-of-microseconds flash writes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.units import gBps, gbps, kib, mib, usec
+
+
+@dataclasses.dataclass(frozen=True)
+class HostSpec:
+    """The Xeon middle-tier server of §5.1."""
+
+    physical_cores: int = 24
+    smt: int = 2
+    memory_rate: float = gBps(120)  # achievable, 8 channels
+    memory_lanes: int = 4  # concurrent service streams in the model
+    memory_chunk: int = kib(64)  # large DMA transfers interleave at this grain
+    llc_bytes: int = mib(16)
+    llc_ways: int = 11
+    ddio_ways: int = 2
+    pcie_rate: float = gbps(104)  # per direction, PCIe 3.0 x16 achievable
+    pcie_leg_latency: float = usec(0.7)  # per direction; 1.4 us round trip
+    pcie_read_chunk: int = kib(4)  # DMA reads complete in chunks
+    parse_header_time: float = usec(0.3)  # parse block-storage header on a core
+    post_descriptor_time: float = usec(0.15)  # post one work request / poll one CQE
+
+    @property
+    def logical_cores(self) -> int:
+        """Total hardware threads (the paper's "48 logical cores")."""
+        return self.physical_cores * self.smt
+
+    @property
+    def ddio_capacity(self) -> int:
+        """LLC bytes DDIO may write-allocate into (2 of 11 ways)."""
+        return self.llc_bytes * self.ddio_ways // self.llc_ways
+
+
+@dataclasses.dataclass(frozen=True)
+class NetworkSpec:
+    """100 GbE RDMA fabric."""
+
+    port_rate: float = gbps(100)  # per direction per port
+    switch_latency: float = usec(1.5)  # one-way fabric traversal
+    roce_overhead_bytes: int = 60  # Eth+IP+UDP+BTH framing per message
+    loss_rate: float = 0.0  # per-message drop probability (lossless by default)
+    retransmit_timeout: float = usec(100)  # RC retransmission time-out
+
+
+@dataclasses.dataclass(frozen=True)
+class SmartDsSpec:
+    """The VCU128 prototype (§4, §5.1)."""
+
+    max_ports: int = 6
+    engine_rate: float = gbps(100)  # per-port LZ4 engine
+    engine_setup_time: float = usec(1.0)
+    hbm_rate: float = gbps(3400)  # 16-channel HBM, up to 3.4 Tb/s
+    hbm_lanes: int = 16
+    split_latency: float = usec(0.5)  # Split/Assemble hardware pipeline delay
+    notify_bytes: int = 16  # completion event DMA'd to host
+    hw_parse_time: float = usec(0.1)  # header parse in FPGA logic (naive design)
+
+
+@dataclasses.dataclass(frozen=True)
+class BlueField2Spec:
+    """The SoC-based SmartNIC baseline (§3.4, §5.1)."""
+
+    arm_cores: int = 8
+    arm_parse_time: float = usec(1.0)  # wimpy core parses a header
+    compression_rate: float = gbps(40)  # on-board engine
+    device_memory_rate: float = gbps(500)  # ~0.7x theoretical DDR
+    device_memory_lanes: int = 2
+    memory_passes: float = 3.5  # payload crosses device DRAM ~3.5x (§3.4)
+
+
+@dataclasses.dataclass(frozen=True)
+class BlueField3Spec:
+    """The upcoming SoC SmartNIC of §3.4.
+
+    BlueField-3 drops the compression engine: its 16 Arm cores together
+    deliver only ~50 Gb/s of LZ4 against 400 Gb/s of networking, and its
+    two DDR5-5600 channels reach ~0.7x of 716.8 Gb/s theoretical.
+    """
+
+    arm_cores: int = 16
+    arm_parse_time: float = usec(0.8)
+    total_compression_rate: float = gbps(50)  # all 16 cores together
+    device_memory_rate: float = gbps(500)  # ~0.7 x 716.8 Gb/s
+    device_memory_lanes: int = 2
+    port_rate: float = gbps(400)
+
+    @property
+    def per_core_compression_rate(self) -> float:
+        """LZ4 input rate of one Arm core."""
+        return self.total_compression_rate / self.arm_cores
+
+
+@dataclasses.dataclass(frozen=True)
+class StorageSpec:
+    """Back-end storage servers and the block-storage data model."""
+
+    replication: int = 3
+    disk_write_latency: float = usec(20)
+    disk_read_latency: float = usec(80)
+    segment_bytes: int = 32 * 1024**3  # 32 GB segments
+    chunk_bytes: int = 64 * 1024**2  # 64 MB chunks
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadSpec:
+    """The paper's I/O shape."""
+
+    block_size: int = kib(4)
+    header_size: int = 64
+    intermediate_buffer_bytes: int = 400 * 1000**2  # Little's law, §3.2
+
+
+@dataclasses.dataclass(frozen=True)
+class PlatformSpec:
+    """Everything an experiment needs, bundled."""
+
+    host: HostSpec = dataclasses.field(default_factory=HostSpec)
+    network: NetworkSpec = dataclasses.field(default_factory=NetworkSpec)
+    smartds: SmartDsSpec = dataclasses.field(default_factory=SmartDsSpec)
+    bluefield2: BlueField2Spec = dataclasses.field(default_factory=BlueField2Spec)
+    bluefield3: BlueField3Spec = dataclasses.field(default_factory=BlueField3Spec)
+    storage: StorageSpec = dataclasses.field(default_factory=StorageSpec)
+    workload: WorkloadSpec = dataclasses.field(default_factory=WorkloadSpec)
+
+
+#: The default platform used by all experiments.
+DEFAULT_PLATFORM = PlatformSpec()

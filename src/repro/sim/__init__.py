@@ -1,0 +1,35 @@
+"""Discrete-event simulation kernel.
+
+A small, self-contained DES engine in the style of SimPy: a
+:class:`~repro.sim.kernel.Simulator` drives a binary-heap event queue;
+model behaviour is written as Python generators wrapped in
+:class:`~repro.sim.process.Process` objects that ``yield`` events.
+
+Shared hardware (memory buses, PCIe links, network ports, compression
+engines) is modeled with :class:`~repro.sim.resources.Resource` and
+:class:`~repro.sim.bandwidth.BandwidthServer`; the fluid counterpart used
+by analytic estimators lives in :mod:`repro.sim.waterfill`.
+"""
+
+from repro.sim.bandwidth import BandwidthServer
+from repro.sim.events import AllOf, AnyOf, Event, SimulationError, Timeout
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+from repro.sim.resources import Resource, Store
+from repro.sim.trace import Tracer
+from repro.sim.waterfill import water_fill
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "BandwidthServer",
+    "Event",
+    "Process",
+    "Resource",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "Timeout",
+    "Tracer",
+    "water_fill",
+]

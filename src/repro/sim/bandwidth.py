@@ -1,0 +1,109 @@
+"""Shared-bandwidth servers.
+
+A :class:`BandwidthServer` models a rate-limited pipe — a memory bus, a
+PCIe link direction, a NIC port direction, an HBM stack. A transfer of
+``n`` bytes occupies one of the server's `lanes` for ``n / lane_rate``
+seconds (plus a fixed per-transfer overhead), so queueing delay and
+interference between competing traffic emerge from the FIFO discipline,
+exactly as the paper's microbenchmarks (Table 1, Fig. 4) probe them on
+real hardware.
+
+Rates are bytes/second; see :mod:`repro.units` for conversions.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.sim.events import SimulationError
+from repro.sim.process import Process
+from repro.sim.resources import Resource
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import Simulator
+    from repro.telemetry.metrics import BandwidthMeter
+
+
+class BandwidthServer:
+    """A FIFO pipe of `rate` bytes/second split across `lanes` equal lanes.
+
+    With ``lanes == 1`` the pipe is a classic single FIFO server; with
+    more lanes (e.g. 8 memory channels) transfers proceed in parallel at
+    ``rate / lanes`` each, which keeps aggregate bandwidth at `rate`
+    while letting small transfers overtake large ones on other lanes.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        rate: float,
+        name: str = "pipe",
+        lanes: int = 1,
+        per_transfer_overhead: float = 0.0,
+    ) -> None:
+        if rate <= 0:
+            raise SimulationError(f"bandwidth rate must be positive, got {rate!r}")
+        if lanes < 1:
+            raise SimulationError(f"lane count must be >= 1, got {lanes}")
+        self.sim = sim
+        self.name = name
+        self.rate = rate
+        self.lanes = lanes
+        self.per_transfer_overhead = per_transfer_overhead
+        self._slots = Resource(sim, lanes, name=f"{name}.lanes")
+        self._meters: list["BandwidthMeter"] = []
+        self.bytes_served = 0
+
+    @property
+    def lane_rate(self) -> float:
+        """Service rate of a single lane in bytes/second."""
+        return self.rate / self.lanes
+
+    @property
+    def queue_length(self) -> int:
+        """Transfers waiting for a lane right now."""
+        return self._slots.queue_length
+
+    @property
+    def busy_lanes(self) -> int:
+        """Lanes currently serving a transfer."""
+        return self._slots.in_use
+
+    def attach_meter(self, meter: "BandwidthMeter") -> None:
+        """Record every served byte into `meter` as well."""
+        self._meters.append(meter)
+
+    def service_time(self, nbytes: int) -> float:
+        """Time one lane is *occupied* pushing `nbytes` (without queueing).
+
+        The per-transfer overhead is propagation latency: it delays the
+        transfer's completion but does not occupy the lane (the pipe
+        keeps serving others while earlier bits are in flight).
+        """
+        return nbytes / self.lane_rate
+
+    def transfer(
+        self, nbytes: int, priority: int = 0, meter: "BandwidthMeter | None" = None
+    ) -> Process:
+        """Start a transfer; the returned process fires when the last byte lands."""
+        if nbytes < 0:
+            raise SimulationError(f"cannot transfer {nbytes} bytes")
+        return self.sim.process(self._transfer(nbytes, priority, meter), name=f"xfer:{self.name}")
+
+    def _transfer(
+        self, nbytes: int, priority: int, meter: "BandwidthMeter | None"
+    ) -> typing.Generator:
+        req = self._slots.request(priority)
+        yield req
+        try:
+            yield self.sim.timeout(self.service_time(nbytes))
+        finally:
+            self._slots.release(req)
+        if self.per_transfer_overhead > 0:
+            yield self.sim.timeout(self.per_transfer_overhead)
+        self.bytes_served += nbytes
+        for attached in self._meters:
+            attached.record(self.sim.now, nbytes)
+        if meter is not None:
+            meter.record(self.sim.now, nbytes)
+        return nbytes

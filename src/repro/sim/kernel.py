@@ -1,0 +1,129 @@
+"""The simulation kernel: a time-ordered event loop.
+
+:class:`Simulator` owns the clock and the event heap. Model code creates
+events through the factory helpers (:meth:`Simulator.timeout`,
+:meth:`Simulator.event`, :meth:`Simulator.process`) and advances the
+world with :meth:`Simulator.run`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing
+from itertools import count
+
+from repro.sim.events import AllOf, AnyOf, Event, SimulationError, Timeout
+from repro.sim.process import Process
+
+
+class Simulator:
+    """Discrete-event simulator with a monotonically advancing clock.
+
+    Time is a float in seconds starting at ``0.0``. Events scheduled for
+    the same instant are processed in scheduling order (FIFO), which
+    keeps runs deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list[tuple[float, int, Event]] = []
+        self._sequence = count()
+        self._unhandled: list[BaseException] = []
+        self._tracers: list[typing.Any] = []  # see repro.sim.trace
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- event factories -------------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        """Create a pending event to be triggered manually."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: typing.Any = None) -> Timeout:
+        """Create an event that fires `delay` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: typing.Generator, name: str = "") -> Process:
+        """Wrap a generator as a running process; it starts at the current time."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: typing.Sequence[Event]) -> AllOf:
+        """An event that fires when all of `events` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: typing.Sequence[Event]) -> AnyOf:
+        """An event that fires when any of `events` has fired."""
+        return AnyOf(self, events)
+
+    # -- scheduling and the main loop ------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {event!r} in the past (delay={delay!r})")
+        heapq.heappush(self._queue, (self._now + delay, next(self._sequence), event))
+
+    def _report_unhandled(self, exc: BaseException) -> None:
+        self._unhandled.append(exc)
+
+    def step(self) -> None:
+        """Process the single next event; raises if the queue is empty."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        if self._tracers:
+            for tracer in self._tracers:
+                tracer._record(when, event)
+        callbacks, event.callbacks = event.callbacks, None  # type: ignore[assignment]
+        for callback in callbacks:
+            callback(event)
+        if not event.ok and not event._defused:
+            # A failure nobody waited on: surface it instead of losing it.
+            self._unhandled.append(typing.cast(BaseException, event.value))
+        if self._unhandled:
+            exc = self._unhandled[0]
+            self._unhandled.clear()
+            raise exc
+
+    def run(self, until: float | Event | None = None) -> typing.Any:
+        """Run until the queue drains, a deadline passes, or an event fires.
+
+        `until` may be ``None`` (drain the queue), a float deadline in
+        seconds, or an :class:`Event` whose value is returned.
+        """
+        stop_event: Event | None = None
+        deadline: float | None = None
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            deadline = float(until)
+            if deadline < self._now:
+                raise SimulationError(f"deadline {deadline!r} is in the past (now={self._now!r})")
+
+        while self._queue:
+            if stop_event is not None and stop_event.processed:
+                break
+            if deadline is not None and self._queue[0][0] > deadline:
+                self._now = deadline
+                return None
+            self.step()
+
+        if stop_event is not None:
+            if not stop_event.triggered:
+                raise SimulationError(f"run() ended before {stop_event!r} fired")
+            if not stop_event.ok:
+                raise typing.cast(BaseException, stop_event._value)
+            return stop_event.value
+        if deadline is not None:
+            self._now = deadline
+        return None
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def __repr__(self) -> str:
+        return f"<Simulator t={self._now:.9f} pending={len(self._queue)}>"

@@ -1,0 +1,105 @@
+"""Generator-backed simulation processes.
+
+A :class:`Process` drives a Python generator: every value the generator
+``yield``s must be an :class:`~repro.sim.events.Event`; the process
+sleeps until that event fires and is resumed with the event's value
+(or has the event's exception thrown into it on failure). A process is
+itself an event that fires with the generator's return value, so
+processes can wait on each other.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.sim.events import Event, SimulationError
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import Simulator
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    @property
+    def cause(self) -> typing.Any:
+        """The cause passed to :meth:`Process.interrupt`."""
+        return self.args[0] if self.args else None
+
+
+class Process(Event):
+    """An event representing a running generator; fires when it returns."""
+
+    def __init__(self, sim: "Simulator", generator: typing.Generator, name: str = "") -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(f"process body must be a generator, got {generator!r}")
+        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        self._generator = generator
+        self._waiting_on: Event | None = None
+        # Kick the process off via an immediately-succeeding event so that
+        # creation order equals start order and creation itself cannot raise
+        # model exceptions.
+        start = Event(sim, name=f"start:{self.name}")
+        start.callbacks.append(self._resume)
+        start.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not returned or raised."""
+        return not self.triggered
+
+    def interrupt(self, cause: typing.Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished {self!r}")
+        if self._waiting_on is None:
+            raise SimulationError(f"cannot interrupt {self!r} while it is being resumed")
+        # Detach from the event we were waiting on; it may still fire but
+        # must not resume us twice.
+        waited = self._waiting_on
+        if not waited.processed and self._resume in waited.callbacks:
+            waited.callbacks.remove(self._resume)
+        if not waited.ok and waited.triggered:
+            waited.defuse()
+        poke = Event(self.sim, name=f"interrupt:{self.name}")
+        poke.callbacks.append(self._resume)
+        poke.fail(Interrupt(cause))
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        try:
+            if event.ok:
+                target = self._generator.send(event._value if event._value is not None else None)
+            else:
+                event.defuse()
+                target = self._generator.throw(typing.cast(BaseException, event._value))
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - model errors must surface
+            if self.callbacks:
+                self.fail(exc)
+            else:
+                # Nobody is waiting on this process; report to the kernel so
+                # the failure is not silently dropped.
+                self.sim._report_unhandled(exc)
+                self.fail(exc)
+                self.defuse()
+            return
+
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes may only yield events"
+            )
+        if target.processed:
+            # Already-fired event: resume on the next kernel step.
+            poke = Event(self.sim, name=f"poke:{self.name}")
+            poke.callbacks.append(self._resume)
+            if target.ok:
+                poke.succeed(target._value)
+            else:
+                poke.fail(typing.cast(BaseException, target._value))
+            self._waiting_on = poke
+        else:
+            target.callbacks.append(self._resume)
+            self._waiting_on = target

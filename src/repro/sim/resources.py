@@ -1,0 +1,153 @@
+"""Queueing resources: counted resources and item stores.
+
+:class:`Resource` models `capacity` identical service slots (CPU cores,
+DMA lanes, compression engines): processes ``yield resource.request()``,
+hold the slot, then ``resource.release(req)``. Requests are granted in
+FIFO order with optional integer priorities.
+
+:class:`Store` is an unbounded (or bounded) FIFO of items used for
+message queues: ``yield store.get()`` blocks until an item is available.
+"""
+
+from __future__ import annotations
+
+import typing
+from collections import deque
+
+from repro.sim.events import Event, SimulationError
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import Simulator
+
+
+class Request(Event):
+    """A pending or granted claim on one slot of a :class:`Resource`."""
+
+    def __init__(self, resource: "Resource", priority: int) -> None:
+        super().__init__(resource.sim, name=f"request:{resource.name}")
+        self.resource = resource
+        self.priority = priority
+
+
+class Resource:
+    """`capacity` identical slots granted FIFO (ties broken by priority).
+
+    Lower `priority` values are served first; equal priorities keep
+    arrival order.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int, name: str = "resource") -> None:
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiting: list[Request] = []
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently granted slots."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self, priority: int = 0) -> Request:
+        """Claim a slot; the returned event fires when the slot is granted."""
+        req = Request(self, priority)
+        if self._in_use < self.capacity and not self._waiting:
+            self._in_use += 1
+            req.succeed(req)
+        else:
+            # Stable insert by priority: scan from the back so equal
+            # priorities keep FIFO order.
+            index = len(self._waiting)
+            while index > 0 and self._waiting[index - 1].priority > priority:
+                index -= 1
+            self._waiting.insert(index, req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a granted slot; the next waiter (if any) is granted."""
+        if request.resource is not self:
+            raise SimulationError(f"{request!r} does not belong to {self.name!r}")
+        if not request.triggered:
+            # Cancelling a queued request.
+            self._waiting.remove(request)
+            return
+        if self._in_use <= 0:
+            raise SimulationError(f"release() on idle resource {self.name!r}")
+        self._in_use -= 1
+        if self._waiting:
+            nxt = self._waiting.pop(0)
+            self._in_use += 1
+            nxt.succeed(nxt)
+
+    def use(self, hold_time: float, priority: int = 0) -> typing.Generator:
+        """Process body: acquire a slot, hold it `hold_time`, release it."""
+        req = self.request(priority)
+        yield req
+        try:
+            yield self.sim.timeout(hold_time)
+        finally:
+            self.release(req)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Resource {self.name!r} {self._in_use}/{self.capacity} busy,"
+            f" {len(self._waiting)} waiting>"
+        )
+
+
+class Store:
+    """FIFO buffer of items with blocking get and (optionally) bounded put."""
+
+    def __init__(
+        self, sim: "Simulator", capacity: float = float("inf"), name: str = "store"
+    ) -> None:
+        if capacity < 1:
+            raise SimulationError(f"store capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._items: deque = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, typing.Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple:
+        """Snapshot of buffered items (oldest first)."""
+        return tuple(self._items)
+
+    def put(self, item: typing.Any) -> Event:
+        """Add `item`; fires immediately unless the store is full."""
+        event = Event(self.sim, name=f"put:{self.name}")
+        if self._getters:
+            self._getters.popleft().succeed(item)
+            event.succeed()
+        elif len(self._items) < self.capacity:
+            self._items.append(item)
+            event.succeed()
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        """Remove and return the oldest item; blocks while empty."""
+        event = Event(self.sim, name=f"get:{self.name}")
+        if self._items:
+            item = self._items.popleft()
+            if self._putters:
+                put_event, put_item = self._putters.popleft()
+                self._items.append(put_item)
+                put_event.succeed()
+            event.succeed(item)
+        else:
+            self._getters.append(event)
+        return event

@@ -1,0 +1,71 @@
+"""Event tracing for simulation debugging.
+
+Attach a :class:`Tracer` to a simulator and every processed event is
+recorded as ``(time, event name)`` — the simulation's flight recorder.
+Use it to answer "what was the model doing around t=X?" when a test
+deadlocks or a latency number looks wrong:
+
+    tracer = Tracer(sim, name_filter="split")
+    sim.run(until=...)
+    print(tracer.format(last=30))
+
+Tracing costs nothing when no tracer is attached; an attached tracer
+keeps at most `limit` records (oldest dropped).
+"""
+
+from __future__ import annotations
+
+import collections
+import typing
+
+from repro.units import to_usec
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.events import Event
+    from repro.sim.kernel import Simulator
+
+
+class Tracer:
+    """Records processed events, optionally filtered by name substring."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        limit: int = 10_000,
+        name_filter: str | None = None,
+    ) -> None:
+        if limit < 1:
+            raise ValueError(f"trace limit must be >= 1, got {limit}")
+        self.sim = sim
+        self.limit = limit
+        self.name_filter = name_filter
+        self.records: collections.deque[tuple[float, str]] = collections.deque(maxlen=limit)
+        self.events_seen = 0
+        self._active = True
+        sim._tracers.append(self)
+
+    def _record(self, when: float, event: "Event") -> None:
+        if not self._active:
+            return
+        name = event.name or type(event).__name__
+        if self.name_filter is not None and self.name_filter not in name:
+            return
+        self.events_seen += 1
+        self.records.append((when, name))
+
+    def stop(self) -> None:
+        """Detach from the simulator; records stay readable."""
+        self._active = False
+        if self in self.sim._tracers:
+            self.sim._tracers.remove(self)
+
+    def between(self, start: float, end: float) -> list[tuple[float, str]]:
+        """Records whose timestamp falls in [start, end]."""
+        return [(when, name) for when, name in self.records if start <= when <= end]
+
+    def format(self, last: int = 50) -> str:
+        """The most recent `last` records, one per line, times in us."""
+        tail = list(self.records)[-last:]
+        if not tail:
+            return "(no events recorded)"
+        return "\n".join(f"{to_usec(when):12.3f} us  {name}" for when, name in tail)

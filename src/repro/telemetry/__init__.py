@@ -1,0 +1,19 @@
+"""Measurement utilities: latency recorders, bandwidth meters, reporting.
+
+The paper reports throughput, average / 99th / 999th-percentile latency,
+and host memory / PCIe bandwidth occupation; these classes collect those
+observables from a simulation run and format them as the paper's tables
+and series.
+"""
+
+from repro.telemetry.metrics import BandwidthMeter, Counter, LatencyRecorder
+from repro.telemetry.reporting import Series, format_series, format_table
+
+__all__ = [
+    "BandwidthMeter",
+    "Counter",
+    "LatencyRecorder",
+    "Series",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,114 @@
+"""Terminal charts for experiment output.
+
+The paper's evaluation is figures; these helpers render
+:class:`~repro.telemetry.reporting.Series` data as plain-text line and
+bar charts so ``smartds-repro --chart`` can show the *shape* of each
+figure directly in the terminal, no plotting stack required.
+"""
+
+from __future__ import annotations
+
+import math
+import typing
+
+from repro.telemetry.reporting import Series
+
+#: Characters used for multi-series line charts, in series order.
+_MARKERS = "ox+*#@%&"
+
+
+def _format_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1000 or magnitude < 0.01:
+        return f"{value:.2g}"
+    return f"{value:.4g}" if magnitude >= 1 else f"{value:.2f}"
+
+
+def line_chart(
+    series_list: typing.Sequence[Series],
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Render series as an ASCII scatter/line chart with a legend.
+
+    Points are plotted on a `width` x `height` grid scaled to the data's
+    bounding box; each series gets its own marker.
+    """
+    if not series_list:
+        raise ValueError("nothing to chart")
+    if width < 10 or height < 4:
+        raise ValueError("chart too small to be readable")
+    points = [
+        (x, y) for series in series_list for x, y in zip(series.x, series.y)
+    ]
+    if not points:
+        raise ValueError("all series are empty")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(min(ys), 0.0), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, series in enumerate(series_list):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in zip(series.x, series.y):
+            col = round((x - x_min) / x_span * (width - 1))
+            row = height - 1 - round((y - y_min) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_tick = _format_tick(y_max)
+    bottom_tick = _format_tick(y_min)
+    gutter = max(len(top_tick), len(bottom_tick), len(y_label)) + 1
+    if y_label:
+        lines.append(y_label.rjust(gutter))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            tick = top_tick
+        elif row_index == height - 1:
+            tick = bottom_tick
+        else:
+            tick = ""
+        lines.append(f"{tick.rjust(gutter)}|{''.join(row)}")
+    lines.append(" " * gutter + "+" + "-" * width)
+    x_axis = f"{_format_tick(x_min)}{_format_tick(x_max).rjust(width - len(_format_tick(x_min)))}"
+    lines.append(" " * (gutter + 1) + x_axis + (f"  {x_label}" if x_label else ""))
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {series.label}"
+        for i, series in enumerate(series_list)
+    )
+    lines.append(" " * (gutter + 1) + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: typing.Sequence[str],
+    values: typing.Sequence[float],
+    width: int = 50,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Render one horizontal bar per (label, value)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have the same length")
+    if not labels:
+        raise ValueError("nothing to chart")
+    if any(not math.isfinite(v) for v in values):
+        raise ValueError("values must be finite")
+    peak = max(max(values), 0.0) or 1.0
+    label_width = max(len(label) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, round(value / peak * width))
+        suffix = f" {_format_tick(value)}{(' ' + unit) if unit else ''}"
+        lines.append(f"{label.rjust(label_width)} |{bar}{suffix}")
+    return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""Plain-text table and series formatting for experiment output.
+
+Experiments print the same rows/series the paper's tables and figures
+show; these helpers keep that output consistent and easy to diff.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+
+@dataclasses.dataclass(frozen=True)
+class Series:
+    """One plotted line of a figure: a label plus (x, y) points."""
+
+    label: str
+    x: tuple[float, ...]
+    y: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(f"series {self.label!r}: x and y lengths differ")
+
+    @classmethod
+    def from_points(
+        cls, label: str, points: typing.Iterable[tuple[float, float]]
+    ) -> "Series":
+        """Build a series from an iterable of (x, y) pairs."""
+        xs, ys = [], []
+        for x, y in points:
+            xs.append(x)
+            ys.append(y)
+        return cls(label, tuple(xs), tuple(ys))
+
+    def peak(self) -> float:
+        """Maximum y value (e.g. peak throughput of a sweep)."""
+        if not self.y:
+            raise ValueError(f"series {self.label!r} is empty")
+        return max(self.y)
+
+
+def _format_cell(value: typing.Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(
+    headers: typing.Sequence[str],
+    rows: typing.Sequence[typing.Sequence[typing.Any]],
+    title: str = "",
+) -> str:
+    """Render an aligned plain-text table with optional title."""
+    cells = [[_format_cell(value) for value in row] for row in rows]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError("every row must have one cell per header")
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in cells)) if cells else len(headers[col])
+        for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip())
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(headers))).rstrip())
+    return "\n".join(lines)
+
+
+def format_series(series_list: typing.Sequence[Series], x_label: str, title: str = "") -> str:
+    """Render several series as one table with a shared x column."""
+    if not series_list:
+        raise ValueError("no series to format")
+    x_axis = series_list[0].x
+    for series in series_list:
+        if series.x != x_axis:
+            raise ValueError("all series must share the same x axis to tabulate")
+    headers = [x_label] + [series.label for series in series_list]
+    rows = [
+        [x_axis[i]] + [series.y[i] for series in series_list] for i in range(len(x_axis))
+    ]
+    return format_table(headers, rows, title=title)

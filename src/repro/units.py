@@ -1,0 +1,62 @@
+"""Unit helpers.
+
+The simulator uses SI base units throughout: **seconds** for time,
+**bytes** for data, and **bytes/second** for rates. These helpers convert
+the units the paper speaks in (Gb/s links, KiB blocks, microsecond
+latencies) into base units, and back for reporting.
+"""
+
+from __future__ import annotations
+
+#: bits per byte, used in every rate conversion.
+BITS_PER_BYTE = 8
+
+
+def gbps(value: float) -> float:
+    """Convert gigabits/second to bytes/second (e.g. ``gbps(100)`` for 100 GbE)."""
+    return value * 1e9 / BITS_PER_BYTE
+
+
+def to_gbps(bytes_per_sec: float) -> float:
+    """Convert bytes/second back to gigabits/second for reporting."""
+    return bytes_per_sec * BITS_PER_BYTE / 1e9
+
+
+def gBps(value: float) -> float:
+    """Convert gigabytes/second (memory-bandwidth convention) to bytes/second."""
+    return value * 1e9
+
+
+def to_gBps(bytes_per_sec: float) -> float:
+    """Convert bytes/second to gigabytes/second for reporting."""
+    return bytes_per_sec / 1e9
+
+
+def kib(value: float) -> int:
+    """KiB to bytes."""
+    return int(value * 1024)
+
+
+def mib(value: float) -> int:
+    """MiB to bytes."""
+    return int(value * 1024 * 1024)
+
+
+def gib(value: float) -> int:
+    """GiB to bytes."""
+    return int(value * 1024 * 1024 * 1024)
+
+
+def usec(value: float) -> float:
+    """Microseconds to seconds."""
+    return value * 1e-6
+
+
+def to_usec(seconds: float) -> float:
+    """Seconds to microseconds for reporting."""
+    return seconds * 1e6
+
+
+def msec(value: float) -> float:
+    """Milliseconds to seconds."""
+    return value * 1e-3

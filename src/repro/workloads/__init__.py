@@ -1,0 +1,17 @@
+"""Workload generators and background-pressure injectors.
+
+- :class:`~repro.workloads.generators.WriteRequestFactory` builds the
+  paper's 4 KB-block write requests, either synthetic (corpus-calibrated
+  compression ratios) or functional (real corpus bytes);
+- :class:`~repro.workloads.generators.ClientDriver` is the closed-loop
+  load generator that plays the "one server keeps issuing write
+  requests" role of §5.1 and records latency/throughput;
+- :class:`~repro.workloads.mlc.MlcInjector` reproduces the Intel Memory
+  Latency Checker methodology of §3.1.2/§5.3: dummy memory requests
+  injected with a configurable inter-request delay.
+"""
+
+from repro.workloads.generators import ClientDriver, WriteRequestFactory
+from repro.workloads.mlc import MlcInjector
+
+__all__ = ["ClientDriver", "MlcInjector", "WriteRequestFactory"]

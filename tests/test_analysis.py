@@ -1,0 +1,106 @@
+"""Tests for the fleet-sizing / TCO analysis."""
+
+import pytest
+
+from repro.analysis import FleetPlan, ServerCost, plan_fleet
+from repro.units import gbps
+
+
+class TestServerCost:
+    def test_annual_cost_components(self):
+        cost = ServerCost(capex_usd=10_000, lifetime_years=5, power_watts=0)
+        assert cost.annual_usd == pytest.approx(2000.0)
+
+    def test_power_term(self):
+        cost = ServerCost(capex_usd=0, power_watts=1000, usd_per_kwh=0.1)
+        assert cost.annual_usd == pytest.approx(24 * 365 * 0.1)
+
+    def test_bad_lifetime(self):
+        with pytest.raises(ValueError):
+            ServerCost(lifetime_years=0).annual_usd
+
+
+class TestPlanFleet:
+    def test_server_count_scales_with_traffic(self):
+        plan = plan_fleet("CPU-only", gbps(54), gbps(5400), utilization_target=1.0)
+        assert plan.servers == 100
+
+    def test_utilization_headroom_adds_servers(self):
+        tight = plan_fleet("x", gbps(100), gbps(1000), utilization_target=1.0)
+        headroom = plan_fleet("x", gbps(100), gbps(1000), utilization_target=0.5)
+        assert headroom.servers == 2 * tight.servers
+
+    def test_paper_ratio_recovered(self):
+        """A SmartDS server at ~51.6x CPU-only throughput needs ~51.6x
+        fewer servers for the same traffic."""
+        traffic = gbps(280_000)  # ~100 SmartDS servers' worth
+        cpu = plan_fleet("CPU-only", gbps(54.3), traffic)
+        smartds = plan_fleet("SmartDS x8", gbps(54.3 * 51.6), traffic)
+        assert cpu.servers / smartds.servers == pytest.approx(51.6, rel=0.02)
+
+    def test_cost_ratio(self):
+        cpu = plan_fleet("CPU-only", gbps(50), gbps(5000), utilization_target=1.0)
+        fast = plan_fleet("SmartDS", gbps(2500), gbps(5000), utilization_target=1.0)
+        assert fast.cost_ratio_vs(cpu) == pytest.approx(50.0)
+
+    def test_zero_traffic_zero_servers(self):
+        plan = plan_fleet("x", gbps(100), 0.0)
+        assert plan.servers == 0
+        assert plan.annual_cost_usd == 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            plan_fleet("x", 0.0, gbps(100))
+        with pytest.raises(ValueError):
+            plan_fleet("x", gbps(1), -1.0)
+        with pytest.raises(ValueError):
+            plan_fleet("x", gbps(1), gbps(1), utilization_target=0.0)
+
+    def test_fleet_plan_fields(self):
+        plan = plan_fleet("SmartDS", gbps(100), gbps(1000))
+        assert isinstance(plan, FleetPlan)
+        assert plan.per_server_gbps == pytest.approx(100.0)
+        assert plan.annual_cost_usd > 0
+
+
+class TestPowerModel:
+    def test_power_interpolates_with_utilization(self):
+        from repro.analysis import PowerProfile
+
+        profile = PowerProfile("x", host_idle_watts=100, host_active_watts=300, device_watts=50)
+        assert profile.power_at(0.0) == pytest.approx(150.0)
+        assert profile.power_at(1.0) == pytest.approx(350.0)
+        assert profile.power_at(0.5) == pytest.approx(250.0)
+
+    def test_invalid_utilization(self):
+        from repro.analysis import PowerProfile
+
+        with pytest.raises(ValueError):
+            PowerProfile("x", 100, 200).power_at(1.5)
+
+    def test_smartds_more_efficient_than_cpu_only(self):
+        from repro.analysis import watts_per_gbps
+
+        # Fig. 7 peaks: CPU-only ~63.5 Gb/s, SmartDS-1 ~65.4 Gb/s.
+        cpu = watts_per_gbps("CPU-only", 63.5)
+        smartds = watts_per_gbps("SmartDS-1", 65.4)
+        assert smartds < 0.8 * cpu
+        # Multi-port amortises the card and host even further.
+        smartds6 = watts_per_gbps("SmartDS-6", 396.6)
+        assert smartds6 < 0.3 * smartds
+
+    def test_efficiency_table_sorted(self):
+        from repro.analysis import efficiency_table
+
+        rows = efficiency_table({"CPU-only": 63.5, "SmartDS-1": 65.4, "BF2": 40.0})
+        assert [r[0] for r in rows][0] != "CPU-only"
+        efficiencies = [r[2] for r in rows]
+        assert efficiencies == sorted(efficiencies)
+
+    def test_unknown_design_rejected(self):
+        from repro.analysis import watts_per_gbps
+
+        with pytest.raises(ValueError):
+            watts_per_gbps("GPU", 10.0)
+        with pytest.raises(ValueError):
+            watts_per_gbps("CPU-only", 0.0)

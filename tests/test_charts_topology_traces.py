@@ -1,0 +1,201 @@
+"""Tests for ASCII charts, fabric topology, and trace replay."""
+
+import pytest
+
+from repro.middletier import CpuOnlyMiddleTier, Testbed
+from repro.net import NetworkPort, RoceEndpoint
+from repro.net.topology import Fabric, FabricSpec
+from repro.sim import Simulator
+from repro.telemetry.charts import bar_chart, line_chart
+from repro.telemetry.reporting import Series
+from repro.units import gbps, msec
+from repro.workloads import WriteRequestFactory
+from repro.workloads.traces import TraceEntry, TraceReplayer, generate_trace
+
+
+class TestLineChart:
+    def test_renders_all_series_markers(self):
+        a = Series("cpu", (1.0, 2.0, 3.0), (10.0, 20.0, 30.0))
+        b = Series("smartds", (1.0, 2.0, 3.0), (40.0, 40.0, 40.0))
+        text = line_chart([a, b], title="fig")
+        assert "fig" in text
+        assert "o cpu" in text and "x smartds" in text
+        assert "o" in text and "x" in text
+
+    def test_extremes_on_grid(self):
+        series = Series("s", (0.0, 10.0), (0.0, 100.0))
+        text = line_chart([series], width=20, height=8)
+        lines = text.splitlines()
+        assert any("100" in line for line in lines)  # y max tick
+        assert "10" in lines[-2]  # x-axis tick line (legend is last)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart([])
+        with pytest.raises(ValueError):
+            line_chart([Series("s", (), ())])
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart([Series("s", (1.0,), (1.0,))], width=5, height=2)
+
+    def test_flat_series_does_not_crash(self):
+        series = Series("flat", (1.0, 2.0), (5.0, 5.0))
+        assert "flat" in line_chart([series])
+
+
+class TestBarChart:
+    def test_bars_proportional(self):
+        text = bar_chart(["a", "b"], [50.0, 100.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_unit_suffix(self):
+        assert "Gb/s" in bar_chart(["x"], [1.0], unit="Gb/s")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [float("nan")])
+
+
+class TestFabric:
+    def _endpoint(self, sim, name):
+        return RoceEndpoint(sim, NetworkPort(sim, gbps(100), f"{name}.port"), name)
+
+    def test_same_rack_cheaper_than_cross_rack(self):
+        spec = FabricSpec()
+        assert spec.one_way_latency(True) < spec.one_way_latency(False)
+
+    def test_placement_and_latency(self):
+        sim = Simulator()
+        fabric = Fabric()
+        a = self._endpoint(sim, "a")
+        b = self._endpoint(sim, "b")
+        c = self._endpoint(sim, "c")
+        fabric.place(a, "rack1")
+        fabric.place(b, "rack1")
+        fabric.place(c, "rack2")
+        assert fabric.latency_between(a, b) == fabric.spec.one_way_latency(True)
+        assert fabric.latency_between(a, c) == fabric.spec.one_way_latency(False)
+
+    def test_network_spec_carries_path_latency(self):
+        sim = Simulator()
+        fabric = Fabric()
+        fabric.place("a", "r1")
+        fabric.place("b", "r2")
+        spec = fabric.network_spec_between("a", "b")
+        assert spec.switch_latency == fabric.spec.one_way_latency(False)
+        assert spec.port_rate == gbps(100)  # other fields preserved
+
+    def test_unplaced_endpoint_rejected(self):
+        fabric = Fabric()
+        with pytest.raises(KeyError):
+            fabric.rack_of("ghost")
+
+    def test_cross_rack_storage_adds_write_latency(self):
+        """3-way replication across racks costs measurable latency."""
+
+        def run(cross_rack):
+            import dataclasses
+
+            from repro.params import PlatformSpec
+            from repro.workloads import ClientDriver
+
+            fabric = Fabric()
+            latency = fabric.spec.one_way_latency(not cross_rack)
+            platform = PlatformSpec()
+            platform = dataclasses.replace(
+                platform,
+                network=dataclasses.replace(platform.network, switch_latency=latency),
+            )
+            sim = Simulator()
+            testbed = Testbed(sim, platform)
+            tier = CpuOnlyMiddleTier(sim, testbed, n_workers=2)
+            driver = ClientDriver(
+                sim, tier, WriteRequestFactory(platform, seed=1), concurrency=2
+            )
+            result = sim.run(until=driver.run(20))
+            return result.latency.mean()
+
+        assert run(cross_rack=True) > run(cross_rack=False)
+
+
+class TestTraceGeneration:
+    def test_deterministic(self):
+        a = generate_trace(duration=0.01, base_rate=50_000, seed=4)
+        b = generate_trace(duration=0.01, base_rate=50_000, seed=4)
+        assert a == b
+
+    def test_timestamps_sorted_and_bounded(self):
+        trace = generate_trace(duration=0.01, base_rate=50_000, seed=1)
+        times = [entry.at for entry in trace]
+        assert times == sorted(times)
+        assert all(0 <= t < 0.01 for t in times)
+
+    def test_read_write_mix(self):
+        trace = generate_trace(
+            duration=0.02, base_rate=100_000, read_fraction=0.3, seed=2
+        )
+        reads = sum(1 for e in trace if e.kind == "read")
+        writes = sum(1 for e in trace if e.kind == "write")
+        assert writes > reads > 0
+        # Reads only target written LBAs.
+        written = {e.lba for e in trace if e.kind == "write"}
+        assert all(e.lba in written for e in trace if e.kind == "read")
+
+    def test_bursts_raise_short_term_rate(self):
+        trace = generate_trace(
+            duration=0.05, base_rate=20_000, burst_rate=200_000, seed=3
+        )
+        # Bin arrivals; the busiest bin should far exceed the average.
+        bins = [0] * 50
+        for entry in trace:
+            bins[min(49, int(entry.at / 0.001))] += 1
+        assert max(bins) > 3 * (sum(bins) / len(bins))
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            generate_trace(duration=0, base_rate=1000)
+        with pytest.raises(ValueError):
+            generate_trace(duration=1, base_rate=1000, read_fraction=1.0)
+
+
+class TestTraceReplay:
+    def test_replay_serves_whole_trace(self):
+        sim = Simulator()
+        testbed = Testbed(sim)
+        tier = CpuOnlyMiddleTier(sim, testbed, n_workers=8)
+        factory = WriteRequestFactory(testbed.platform, seed=1)
+        replayer = TraceReplayer(sim, tier, factory)
+        trace = generate_trace(
+            duration=msec(2), base_rate=100_000, read_fraction=0.2, seed=6
+        )
+        result = sim.run(until=replayer.replay(trace))
+        assert result.writes + result.reads == len(trace)
+        assert result.writes > 0 and result.reads > 0
+        assert result.write_latency.count == result.writes
+        assert result.read_latency.count == result.reads
+
+    def test_replay_paces_arrivals(self):
+        """The replay must take at least the trace's span of time."""
+        sim = Simulator()
+        testbed = Testbed(sim)
+        tier = CpuOnlyMiddleTier(sim, testbed, n_workers=8)
+        factory = WriteRequestFactory(testbed.platform, seed=1)
+        replayer = TraceReplayer(sim, tier, factory)
+        trace = [TraceEntry(at=i * 0.0001, kind="write", lba=i) for i in range(10)]
+        result = sim.run(until=replayer.replay(trace))
+        assert result.duration >= 9 * 0.0001
+
+    def test_empty_trace_rejected(self):
+        sim = Simulator()
+        testbed = Testbed(sim)
+        tier = CpuOnlyMiddleTier(sim, testbed, n_workers=2)
+        replayer = TraceReplayer(sim, tier, WriteRequestFactory(testbed.platform))
+        with pytest.raises(ValueError):
+            replayer.replay([])

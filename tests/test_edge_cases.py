@@ -1,0 +1,201 @@
+"""Edge-case tests across small public surfaces."""
+
+import pytest
+
+from repro.net import Message, Payload
+from repro.sim import AllOf, AnyOf, BandwidthServer, Resource, SimulationError, Simulator, Store
+from repro.units import (
+    gBps,
+    gbps,
+    gib,
+    kib,
+    mib,
+    msec,
+    to_gBps,
+    to_gbps,
+    to_usec,
+    usec,
+)
+
+
+class TestUnits:
+    def test_gbps_roundtrip(self):
+        assert to_gbps(gbps(100.0)) == pytest.approx(100.0)
+
+    def test_gBps_roundtrip(self):
+        assert to_gBps(gBps(120.0)) == pytest.approx(120.0)
+
+    def test_gbps_vs_gBps_factor_eight(self):
+        assert gBps(1.0) == pytest.approx(8 * gbps(1.0))
+
+    def test_sizes(self):
+        assert kib(4) == 4096
+        assert mib(1) == 1024 * 1024
+        assert gib(1) == 1024**3
+
+    def test_times(self):
+        assert usec(1.5) == pytest.approx(1.5e-6)
+        assert msec(2.0) == pytest.approx(2e-3)
+        assert to_usec(usec(7)) == pytest.approx(7.0)
+
+
+class TestConditionFailures:
+    def test_all_of_fails_fast(self):
+        sim = Simulator()
+        slow = sim.timeout(10.0)
+        boom = sim.event()
+        caught = []
+
+        def body():
+            try:
+                yield AllOf(sim, [slow, boom])
+            except ValueError as exc:
+                caught.append((sim.now, str(exc)))
+
+        sim.process(body())
+        boom.fail(ValueError("dead"))
+        sim.run()
+        assert caught and caught[0][0] == 0.0
+
+    def test_any_of_with_failure_first(self):
+        sim = Simulator()
+        boom = sim.event()
+        caught = []
+
+        def body():
+            try:
+                yield AnyOf(sim, [sim.timeout(5.0), boom])
+            except ValueError:
+                caught.append(sim.now)
+
+        sim.process(body())
+        boom.fail(ValueError("dead"))
+        sim.run()
+        assert caught == [0.0]
+
+    def test_empty_all_of_fires_immediately(self):
+        sim = Simulator()
+        fired = []
+
+        def body():
+            yield AllOf(sim, [])
+            fired.append(sim.now)
+
+        sim.process(body())
+        sim.run()
+        assert fired == [0.0]
+
+
+class TestKernelMisuse:
+    def test_step_on_empty_queue(self):
+        with pytest.raises(SimulationError):
+            Simulator().step()
+
+    def test_run_until_past_deadline(self):
+        sim = Simulator()
+        sim.timeout(1.0)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.run(until=0.5)
+
+    def test_run_until_never_fired_event(self):
+        sim = Simulator()
+        orphan = sim.event()
+        sim.timeout(1.0)
+        with pytest.raises(SimulationError):
+            sim.run(until=orphan)
+
+    def test_fail_requires_exception(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.event().fail("not an exception")  # type: ignore[arg-type]
+
+    def test_value_of_pending_event(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            _ = sim.event().value
+
+
+class TestResourceMisuse:
+    def test_release_foreign_request(self):
+        sim = Simulator()
+        a = Resource(sim, 1, name="a")
+        b = Resource(sim, 1, name="b")
+        request = a.request()
+        with pytest.raises(SimulationError):
+            b.release(request)
+
+    def test_double_release(self):
+        sim = Simulator()
+        resource = Resource(sim, 1)
+        request = resource.request()
+        resource.release(request)
+        with pytest.raises(SimulationError):
+            resource.release(request)
+
+    def test_store_capacity_validation(self):
+        with pytest.raises(SimulationError):
+            Store(Simulator(), capacity=0)
+
+    def test_bandwidth_validation(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            BandwidthServer(sim, rate=0.0)
+        with pytest.raises(SimulationError):
+            BandwidthServer(sim, rate=1.0, lanes=0)
+        pipe = BandwidthServer(sim, rate=1.0)
+        with pytest.raises(SimulationError):
+            pipe.transfer(-1)
+
+    def test_zero_byte_transfer_completes(self):
+        sim = Simulator()
+        pipe = BandwidthServer(sim, rate=100.0)
+        done = []
+
+        def body():
+            yield pipe.transfer(0)
+            done.append(sim.now)
+
+        sim.process(body())
+        sim.run()
+        assert done == [0.0]
+
+
+class TestMessageEdges:
+    def test_negative_header_rejected(self):
+        with pytest.raises(ValueError):
+            Message("x", "a", "b", header_size=-1)
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            Payload(size=-1)
+
+    def test_synthetic_decompress_without_original_size(self):
+        from repro.net.message import decompress_payload
+
+        orphan = Payload(size=100, is_compressed=True)
+        with pytest.raises(ValueError):
+            decompress_payload(orphan)
+
+    def test_reply_preserves_header_size(self):
+        msg = Message("write_request", "a", "b", header_size=128)
+        assert msg.reply("write_reply").header_size == 128
+
+
+class TestDriverEdges:
+    def test_result_before_any_completion_raises(self):
+        from repro.middletier import CpuOnlyMiddleTier, Testbed
+        from repro.workloads import ClientDriver, WriteRequestFactory
+
+        sim = Simulator()
+        testbed = Testbed(sim)
+        tier = CpuOnlyMiddleTier(sim, testbed, n_workers=1)
+        driver = ClientDriver(sim, tier, WriteRequestFactory(testbed.platform), concurrency=1)
+        with pytest.raises(RuntimeError):
+            driver.result()
+
+    def test_driver_repr_objects_exist(self):
+        # Representations used in debugging must not raise.
+        sim = Simulator()
+        assert "Simulator" in repr(sim)
+        assert "Resource" in repr(Resource(sim, 2))

@@ -1,0 +1,212 @@
+"""Fast unit tests of the experiments layer (no heavy sweeps)."""
+
+import pytest
+
+from repro.experiments import table3_resources
+from repro.experiments.common import ExperimentResult, build_tier, measure_design
+from repro.experiments.runner import EXPERIMENTS, main
+from repro.experiments.sec55_multi_nic import ScaleUpPoint, estimate
+from repro.hostmodel.memory import MemorySubsystem
+from repro.middletier import Testbed
+from repro.params import DEFAULT_PLATFORM
+from repro.sim import Simulator
+
+
+class TestBuildTier:
+    @pytest.mark.parametrize(
+        "design", ["CPU-only", "Acc", "Acc w/o DDIO", "BF2", "FPGA-only", "SmartDS-1", "SmartDS-3"]
+    )
+    def test_every_design_constructs(self, design):
+        sim = Simulator()
+        testbed = Testbed(sim, n_storage_servers=6)
+        memory = MemorySubsystem.for_host(sim)
+        tier = build_tier(sim, testbed, design, n_workers=2, memory=memory)
+        assert tier.design_name in design or design.startswith("SmartDS")
+
+    def test_unknown_design_rejected(self):
+        sim = Simulator()
+        testbed = Testbed(sim)
+        with pytest.raises(ValueError):
+            build_tier(sim, testbed, "GPU-only", 2, MemorySubsystem.for_host(sim))
+
+
+class TestMeasureDesign:
+    def test_small_measurement_has_all_fields(self):
+        m = measure_design("CPU-only", n_workers=2, n_requests=64, concurrency=8)
+        assert m.throughput_gbps > 0
+        assert m.avg_latency_us > 0
+        assert m.p99_latency_us >= m.avg_latency_us * 0.5
+        assert m.p999_latency_us >= m.p99_latency_us
+        assert "nic-h2d" in m.pcie_gbps
+
+    def test_smartds_port_count_parsed_from_name(self):
+        m = measure_design("SmartDS-2", n_workers=0, n_requests=128, concurrency=16)
+        assert m.throughput_gbps > 0
+
+    def test_mlc_threads_report_bandwidth(self):
+        m = measure_design(
+            "CPU-only", n_workers=2, n_requests=64, concurrency=8, mlc_threads=4
+        )
+        assert m.mlc_gbps > 0
+
+
+class TestExperimentResult:
+    def test_render_includes_id_and_text(self):
+        result = ExperimentResult("figX", "A title", "the body", {})
+        rendered = result.render()
+        assert "figX" in rendered and "A title" in rendered and "the body" in rendered
+
+
+class TestScaleUpEstimator:
+    def test_unconstrained_scaling_is_linear(self):
+        points = estimate(
+            per_card_gbps=100.0,
+            per_card_memory_gbps=1.0,
+            per_card_pcie_gbps=1.0,
+            cpu_only_peak_gbps=50.0,
+            platform=DEFAULT_PLATFORM,
+        )
+        assert [round(p.throughput_gbps) for p in points] == [100 * c for c in range(1, 9)]
+        assert points[-1].speedup_vs_cpu_only == pytest.approx(16.0)
+
+    def test_memory_capacity_caps_scaling(self):
+        # Per-card memory demand of 500 Gb/s: two cards hit the ~960 Gb/s
+        # host ceiling.
+        points = estimate(
+            per_card_gbps=100.0,
+            per_card_memory_gbps=500.0,
+            per_card_pcie_gbps=1.0,
+            cpu_only_peak_gbps=50.0,
+            platform=DEFAULT_PLATFORM,
+        )
+        assert points[3].throughput_gbps < 4 * 100.0
+
+    def test_pcie_switch_caps_scaling(self):
+        points = estimate(
+            per_card_gbps=100.0,
+            per_card_memory_gbps=0.0,
+            per_card_pcie_gbps=60.0,  # two cards overrun one root port
+            cpu_only_peak_gbps=50.0,
+            platform=DEFAULT_PLATFORM,
+        )
+        assert points[1].throughput_gbps < 2 * 100.0
+
+    def test_core_limit_optional(self):
+        kwargs = dict(
+            per_card_gbps=100.0,
+            per_card_memory_gbps=0.0,
+            per_card_pcie_gbps=0.0,
+            cpu_only_peak_gbps=50.0,
+            platform=DEFAULT_PLATFORM,
+        )
+        free = estimate(**kwargs)
+        limited = estimate(**kwargs, apply_core_limit=True)
+        assert limited[-1].throughput_gbps < free[-1].throughput_gbps
+        assert isinstance(free[0], ScaleUpPoint)
+
+
+class TestRunnerCli:
+    def test_registry_covers_every_artifact(self):
+        assert {
+            "table1",
+            "table3",
+            "fig4",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "sec55",
+            "ablations",
+        } <= set(EXPERIMENTS)
+
+    def test_cli_runs_the_analytic_experiment(self, capsys):
+        assert main(["table3", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "SmartDS-6" in out and "941" in out
+
+    def test_cli_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+
+class TestTable3Exactness:
+    def test_rows_match_paper(self):
+        result = table3_resources.run()
+        assert result.data["SmartDS-4"]["brams"] == 1168
+        assert result.data["Acc"]["luts_k"] == 112
+
+
+class TestRunnerCharts:
+    def test_chart_flag_renders_series(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["table3", "--quick", "--chart"]) == 0  # no series: no crash
+        out = capsys.readouterr().out
+        assert "SmartDS-6" in out
+
+    def test_render_charts_handles_series_and_peaks(self):
+        from repro.experiments.common import ExperimentResult
+        from repro.experiments.runner import render_charts
+        from repro.telemetry.reporting import Series
+
+        result = ExperimentResult(
+            "x",
+            "title",
+            "",
+            {
+                "a": Series("a", (1.0, 2.0), (3.0, 4.0)),
+                "b": Series("b", (1.0, 2.0), (5.0, 6.0)),
+                "peaks_gbps": {"CPU-only": 60.0, "SmartDS-1": 66.0},
+            },
+        )
+        text = render_charts(result)
+        assert "a" in text and "peak throughput" in text
+
+    def test_render_charts_empty_data(self):
+        from repro.experiments.common import ExperimentResult
+        from repro.experiments.runner import render_charts
+
+        assert render_charts(ExperimentResult("x", "t", "", {})) == ""
+
+
+class TestJsonExport:
+    def test_jsonable_handles_all_shapes(self):
+        import json
+
+        from repro.experiments.common import Measurement
+        from repro.experiments.export import jsonable
+        from repro.telemetry.reporting import Series
+
+        data = {
+            "series": Series("s", (1.0, 2.0), (3.0, 4.0)),
+            "measurement": Measurement(
+                design="x",
+                n_workers=2,
+                throughput_gbps=1.0,
+                avg_latency_us=2.0,
+                p99_latency_us=3.0,
+                p999_latency_us=4.0,
+                memory_read_gbps=0.0,
+                memory_write_gbps=0.0,
+                pcie_gbps={"nic": 1.0},
+            ),
+            "nested": {"tuple": (1, 2), "set": {3}},
+            "inf": float("inf"),
+            "plain": [1, "two", None, True],
+        }
+        converted = jsonable(data)
+        text = json.dumps(converted)  # must not raise
+        assert '"label": "s"' in text
+        assert converted["inf"] is None
+        assert converted["measurement"]["design"] == "x"
+
+    def test_cli_json_flag_writes_file(self, tmp_path, capsys):
+        from repro.experiments.runner import main
+
+        out = tmp_path / "results.json"
+        assert main(["table3", "--quick", "--json", str(out)]) == 0
+        import json
+
+        document = json.loads(out.read_text())
+        assert "table3" in document
+        assert document["table3"]["data"]["SmartDS-6"]["brams"] == 1752

@@ -1,0 +1,150 @@
+"""Unit and property-based tests for the LZ4 block codec."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression import CorruptFrameError, lz4_compress, lz4_decompress
+from repro.compression.lz4 import compression_ratio
+
+
+class TestRoundTrip:
+    def test_empty(self):
+        assert lz4_decompress(lz4_compress(b"")) == b""
+
+    def test_short_literal_only(self):
+        data = b"hello"
+        assert lz4_decompress(lz4_compress(data)) == data
+
+    def test_repetitive_compresses_well(self):
+        data = b"abcd" * 1024
+        blob = lz4_compress(data)
+        assert len(blob) < len(data) // 10
+        assert lz4_decompress(blob) == data
+
+    def test_single_repeated_byte(self):
+        data = b"\x00" * 4096
+        assert lz4_decompress(lz4_compress(data)) == data
+
+    def test_overlapping_match_offset_one(self):
+        # A run of a single byte forces offset-1 overlapping copies.
+        data = b"x" + b"y" * 300 + b"tail!"
+        assert lz4_decompress(lz4_compress(data)) == data
+
+    def test_random_data_round_trips(self):
+        import random
+
+        rng = random.Random(7)
+        data = rng.randbytes(8192)
+        blob = lz4_compress(data)
+        assert lz4_decompress(blob) == data
+
+    def test_incompressible_data_grows_slightly(self):
+        import random
+
+        data = random.Random(1).randbytes(4096)
+        blob = lz4_compress(data)
+        assert len(data) < len(blob) < len(data) + 64
+
+    def test_long_literal_run_lsic_boundary(self):
+        # Literal lengths around the 15 and 15+255 LSIC boundaries.
+        import random
+
+        rng = random.Random(3)
+        for size in [14, 15, 16, 269, 270, 271, 600]:
+            data = rng.randbytes(size)
+            assert lz4_decompress(lz4_compress(data)) == data, size
+
+    def test_long_match_lsic_boundary(self):
+        # Match lengths around 19 (4+15) and 4+15+255.
+        for match_len in [18, 19, 20, 273, 274, 275]:
+            data = b"12345678" + b"z" * match_len + b"ENDOFBLOCK!!"
+            assert lz4_decompress(lz4_compress(data)) == data, match_len
+
+    def test_text_like_data(self):
+        data = ("the quick brown fox jumps over the lazy dog. " * 200).encode()
+        blob = lz4_compress(data)
+        assert lz4_decompress(blob) == data
+        assert len(blob) < len(data) / 4
+
+
+class TestKnownVectors:
+    """Hand-decoded vectors pin the on-wire format, not just the round trip."""
+
+    def test_literal_only_block_format(self):
+        blob = lz4_compress(b"abc")
+        # token: 3 literals, no match; then the literals.
+        assert blob == bytes([0x30]) + b"abc"
+
+    def test_empty_block_format(self):
+        assert lz4_compress(b"") == b"\x00"
+
+    def test_decode_foreign_sequence(self):
+        # Hand-built block: 4 literals "abcd", match offset 4 length 8,
+        # then final 5 literals "hello".
+        blob = bytes([0x44]) + b"abcd" + bytes([0x04, 0x00]) + bytes([0x50]) + b"hello"
+        assert lz4_decompress(blob) == b"abcd" + b"abcdabcd" + b"hello"
+
+    def test_decode_lsic_literal_length(self):
+        # 15 + 0 literals via LSIC extension byte 0.
+        blob = bytes([0xF0, 0x00]) + b"0123456789abcde"
+        assert lz4_decompress(blob) == b"0123456789abcde"
+
+
+class TestCorruptInput:
+    def test_empty_input_rejected(self):
+        with pytest.raises(CorruptFrameError):
+            lz4_decompress(b"")
+
+    def test_truncated_literals(self):
+        with pytest.raises(CorruptFrameError):
+            lz4_decompress(bytes([0x50]) + b"ab")  # promises 5 literals, has 2
+
+    def test_truncated_offset(self):
+        with pytest.raises(CorruptFrameError):
+            lz4_decompress(bytes([0x14]) + b"a" + b"\x01")  # offset needs 2 bytes
+
+    def test_zero_offset(self):
+        with pytest.raises(CorruptFrameError):
+            lz4_decompress(bytes([0x14]) + b"a" + b"\x00\x00" + bytes([0x50]) + b"hello")
+
+    def test_offset_before_start(self):
+        with pytest.raises(CorruptFrameError):
+            lz4_decompress(bytes([0x14]) + b"a" + b"\x09\x00" + bytes([0x50]) + b"hello")
+
+    def test_truncated_lsic(self):
+        with pytest.raises(CorruptFrameError):
+            lz4_decompress(bytes([0xF0]))  # LSIC extension missing
+
+    def test_max_output_guard(self):
+        data = b"a" * 100000
+        blob = lz4_compress(data)
+        with pytest.raises(CorruptFrameError):
+            lz4_decompress(blob, max_output=1000)
+
+
+class TestRatio:
+    def test_ratio_of_empty_is_one(self):
+        assert compression_ratio(b"") == 1.0
+
+    def test_ratio_of_repetitive_data_is_high(self):
+        assert compression_ratio(b"ab" * 4096) > 20.0
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.binary(min_size=0, max_size=2048))
+def test_roundtrip_property(data):
+    assert lz4_decompress(lz4_compress(data)) == data
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.binary(min_size=1, max_size=16), st.integers(min_value=1, max_value=64)),
+        min_size=1,
+        max_size=32,
+    )
+)
+def test_roundtrip_repetitive_property(chunks):
+    """Structured repetitive inputs (motifs repeated) round-trip too."""
+    data = b"".join(motif * count for motif, count in chunks)
+    assert lz4_decompress(lz4_compress(data)) == data

@@ -1,0 +1,149 @@
+"""Tests for the maintenance services (§2.2.3)."""
+
+import pytest
+
+from repro.middletier import (
+    CpuOnlyMiddleTier,
+    HeartbeatMonitor,
+    LsmCompactionService,
+    SnapshotService,
+    Testbed,
+)
+from repro.sim import Simulator
+from repro.units import msec, usec
+from repro.workloads import ClientDriver, WriteRequestFactory
+
+
+def build(sim, n_storage=4, n_workers=4):
+    testbed = Testbed(sim, n_storage_servers=n_storage)
+    tier = CpuOnlyMiddleTier(sim, testbed, n_workers=n_workers)
+    factory = WriteRequestFactory(testbed.platform, seed=11)
+    driver = ClientDriver(sim, tier, factory, concurrency=8)
+    return testbed, tier, factory, driver
+
+
+class TestLsmCompaction:
+    def test_compaction_triggers_after_threshold(self):
+        sim = Simulator()
+        testbed, tier, factory, driver = build(sim)
+        service = LsmCompactionService(sim, tier, threshold=16, scan_interval=usec(200))
+        done = driver.run(64)  # all in chunk 0 (sequential LBAs)
+        sim.run(until=done)
+        sim.run(until=sim.now + msec(5))
+        service.stop()
+        assert service.compactions.value >= 1
+        assert service.blocks_in.value >= 16
+        # Sequential LBAs are all distinct: compaction keeps every block.
+        assert service.blocks_out.value == service.blocks_in.value
+
+    def test_compaction_deduplicates_overwrites(self):
+        """Rewriting the same LBAs should compact many versions into one."""
+        sim = Simulator()
+        testbed, tier, factory, driver = build(sim)
+        service = LsmCompactionService(sim, tier, threshold=20, scan_interval=usec(200))
+
+        # Issue 20 writes to only 5 distinct blocks.
+        def writer():
+            tier.start()
+            for i in range(20):
+                message = factory.make()
+                message.header["block_id"] = i % 5
+                message.header["chunk_id"] = 0
+                event = sim.event()
+                driver._reply_events[message.request_id] = event
+                yield driver.qp.send(message)
+                yield event
+
+        sim.process(writer())
+        sim.run(until=msec(20))
+        service.stop()
+        assert service.compactions.value == 1
+        assert service.blocks_in.value == 20
+        assert service.blocks_out.value == 5
+
+    def test_gc_reclaims_superseded_space(self):
+        sim = Simulator()
+        testbed, tier, factory, driver = build(sim)
+        service = LsmCompactionService(sim, tier, threshold=16, scan_interval=usec(200))
+        done = driver.run(32)
+        sim.run(until=done)
+        sim.run(until=sim.now + msec(5))
+        service.stop()
+        assert service.bytes_reclaimed.value > 0
+        # Live bytes on storage equal one live version per written block.
+        total_live_blocks = sum(
+            len(s.store.live_blocks(c))
+            for s in testbed.storage_servers
+            for c in s.store.chunk_ids()
+        )
+        assert total_live_blocks == 32 * 3  # 3 replicas each
+
+    def test_bad_threshold_rejected(self):
+        sim = Simulator()
+        testbed, tier, factory, driver = build(sim)
+        with pytest.raises(ValueError):
+            LsmCompactionService(sim, tier, threshold=1)
+
+
+class TestSnapshots:
+    def test_snapshots_taken_periodically(self):
+        sim = Simulator()
+        testbed, tier, factory, driver = build(sim)
+        service = SnapshotService(sim, tier, interval=msec(1))
+        done = driver.run(16)
+        sim.run(until=done)
+        sim.run(until=sim.now + msec(5))
+        service.stop()
+        assert service.snapshots_taken.value >= 4
+        for server in testbed.storage_servers:
+            assert service.snapshot_ids.get(server.address)
+
+    def test_snapshot_survives_compaction_gc(self):
+        """A snapshot taken before compaction still sees the old blocks."""
+        sim = Simulator()
+        testbed, tier, factory, driver = build(sim)
+        done = driver.run(16)
+        sim.run(until=done)
+        server = testbed.storage_servers[0]
+        snap = server.store.snapshot()
+        before = len(server.store.snapshot_blocks(snap))
+        compaction = LsmCompactionService(sim, tier, threshold=2, scan_interval=usec(100))
+        sim.run(until=sim.now + msec(10))
+        compaction.stop()
+        assert len(server.store.snapshot_blocks(snap)) == before
+
+
+class TestHeartbeatFailover:
+    def test_detects_failure_and_re_replicates(self):
+        sim = Simulator()
+        testbed, tier, factory, driver = build(sim, n_storage=5)
+        tier.retain_writes = True
+        monitor = HeartbeatMonitor(sim, tier, interval=msec(1), timeout=msec(1))
+        done = driver.run(24)
+        sim.run(until=done)
+
+        victim = tier._chunk_log[0][0].replicas[0][0]
+        testbed.server(victim).fail()
+        sim.run(until=sim.now + msec(20))
+        monitor.stop()
+
+        assert victim in monitor.suspected
+        assert monitor.failures_detected.value == 1
+        assert monitor.blocks_re_replicated.value > 0
+        # Every retained write names three healthy holders again.
+        for entries in tier._chunk_log.values():
+            for entry in entries:
+                holders = [address for address, _ in entry.replicas]
+                assert victim not in holders
+                assert len(holders) == 3
+
+    def test_healthy_cluster_no_false_positives(self):
+        sim = Simulator()
+        testbed, tier, factory, driver = build(sim)
+        monitor = HeartbeatMonitor(sim, tier, interval=msec(1), timeout=msec(1))
+        done = driver.run(16)
+        sim.run(until=done)
+        sim.run(until=sim.now + msec(10))
+        monitor.stop()
+        assert monitor.failures_detected.value == 0
+        assert not monitor.suspected

@@ -1,0 +1,117 @@
+"""Reliability tests: lossy fabric, retransmission, in-order delivery."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net import Message, NetworkPort, Payload, RoceEndpoint
+from repro.params import NetworkSpec
+from repro.sim import Simulator
+from repro.units import gbps, usec
+
+
+def make_pair(sim, loss_rate=0.0, seed=1):
+    spec = NetworkSpec(loss_rate=loss_rate, retransmit_timeout=usec(20))
+    left = RoceEndpoint(
+        sim, NetworkPort(sim, gbps(100), "l.port"), "left", spec=spec, loss_seed=seed
+    )
+    right = RoceEndpoint(
+        sim, NetworkPort(sim, gbps(100), "r.port"), "right", spec=spec, loss_seed=seed + 1
+    )
+    return left.connect(right)
+
+
+def run_transfer(loss_rate, n_messages, seed=1):
+    sim = Simulator()
+    qp = make_pair(sim, loss_rate=loss_rate, seed=seed)
+    got = []
+
+    def sender():
+        sends = [
+            qp.send(
+                Message(
+                    "data", "l", "r", header={"i": i}, payload=Payload.synthetic(4096, 2.0)
+                )
+            )
+            for i in range(n_messages)
+        ]
+        yield sim.all_of(sends)
+
+    def receiver():
+        for _ in range(n_messages):
+            message = yield qp.peer.recv()
+            got.append(message.header["i"])
+
+    sim.process(sender())
+    sim.process(receiver())
+    sim.run()
+    return sim, qp, got
+
+
+class TestLossyFabric:
+    def test_all_messages_delivered_under_loss(self):
+        _sim, qp, got = run_transfer(loss_rate=0.3, n_messages=40)
+        assert sorted(got) == list(range(40))
+
+    def test_delivery_stays_in_order_under_loss(self):
+        _sim, qp, got = run_transfer(loss_rate=0.4, n_messages=40)
+        assert got == list(range(40))
+
+    def test_retransmissions_counted(self):
+        sim = Simulator()
+        qp = make_pair(sim, loss_rate=0.5, seed=3)
+
+        def sender():
+            sends = [qp.send(Message("d", "l", "r")) for _ in range(30)]
+            yield sim.all_of(sends)
+
+        def receiver():
+            for _ in range(30):
+                yield qp.peer.recv()
+
+        sim.process(sender())
+        sim.process(receiver())
+        sim.run()
+        assert qp.endpoint.retransmissions.value > 0
+
+    def test_no_loss_means_no_retransmissions(self):
+        sim, qp, got = run_transfer(loss_rate=0.0, n_messages=20)
+        assert qp.endpoint.retransmissions.value == 0
+        assert got == list(range(20))
+
+    def test_loss_slows_completion(self):
+        clean_sim, _, _ = run_transfer(loss_rate=0.0, n_messages=30)
+        lossy_sim, _, _ = run_transfer(loss_rate=0.5, n_messages=30)
+        assert lossy_sim.now > clean_sim.now
+
+    def test_concurrent_senders_each_delivered_once(self):
+        sim = Simulator()
+        qp = make_pair(sim, loss_rate=0.25, seed=9)
+        got = []
+        n_streams, per_stream = 8, 5
+
+        def stream(tag):
+            for i in range(per_stream):
+                yield qp.send(Message("d", "l", "r", header={"id": (tag, i)}))
+
+        def receiver():
+            for _ in range(n_streams * per_stream):
+                message = yield qp.peer.recv()
+                got.append(message.header["id"])
+
+        for tag in range(n_streams):
+            sim.process(stream(tag))
+        sim.process(receiver())
+        sim.run()
+        assert len(got) == len(set(got)) == n_streams * per_stream
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    loss=st.floats(min_value=0.0, max_value=0.6),
+    n=st.integers(min_value=1, max_value=25),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_reliability_property(loss, n, seed):
+    """Exactly-once, in-order delivery holds for any loss rate and count."""
+    _sim, _qp, got = run_transfer(loss_rate=loss, n_messages=n, seed=seed)
+    assert got == list(range(n))

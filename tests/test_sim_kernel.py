@@ -1,0 +1,200 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, SimulationError, Simulator
+from repro.sim.process import Interrupt
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    seen = []
+
+    def body():
+        yield sim.timeout(1.5)
+        seen.append(sim.now)
+        yield sim.timeout(0.5)
+        seen.append(sim.now)
+
+    sim.process(body())
+    sim.run()
+    assert seen == [1.5, 2.0]
+
+
+def test_events_at_same_time_run_fifo():
+    sim = Simulator()
+    order = []
+
+    def body(tag):
+        yield sim.timeout(1.0)
+        order.append(tag)
+
+    for tag in range(5):
+        sim.process(body(tag))
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_process_return_value_propagates():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(1.0)
+        return 42
+
+    def parent():
+        value = yield sim.process(child())
+        return value + 1
+
+    result = sim.run(until=sim.process(parent()))
+    assert result == 43
+
+
+def test_run_until_deadline_stops_early():
+    sim = Simulator()
+    ticks = []
+
+    def clock():
+        while True:
+            yield sim.timeout(1.0)
+            ticks.append(sim.now)
+
+    sim.process(clock())
+    sim.run(until=3.5)
+    assert ticks == [1.0, 2.0, 3.0]
+    assert sim.now == 3.5
+
+
+def test_run_until_event_returns_its_value():
+    sim = Simulator()
+    done = sim.event()
+
+    def body():
+        yield sim.timeout(2.0)
+        done.succeed("finished")
+
+    sim.process(body())
+    assert sim.run(until=done) == "finished"
+    assert sim.now == 2.0
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1.0)
+
+
+def test_double_trigger_rejected():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_failed_event_raises_inside_process():
+    sim = Simulator()
+    boom = sim.event()
+    caught = []
+
+    def body():
+        try:
+            yield boom
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    sim.process(body())
+    boom.fail(ValueError("boom"))
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_process_exception_surfaces_in_run():
+    sim = Simulator()
+
+    def body():
+        yield sim.timeout(1.0)
+        raise RuntimeError("model bug")
+
+    sim.process(body())
+    with pytest.raises(RuntimeError, match="model bug"):
+        sim.run()
+
+
+def test_yielding_non_event_is_an_error():
+    sim = Simulator()
+
+    def body():
+        yield 3
+
+    sim.process(body())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+    t_done = []
+
+    def body():
+        yield AllOf(sim, [sim.timeout(1.0), sim.timeout(3.0), sim.timeout(2.0)])
+        t_done.append(sim.now)
+
+    sim.process(body())
+    sim.run()
+    assert t_done == [3.0]
+
+
+def test_any_of_fires_on_first_event():
+    sim = Simulator()
+    t_done = []
+
+    def body():
+        yield AnyOf(sim, [sim.timeout(5.0), sim.timeout(1.0)])
+        t_done.append(sim.now)
+
+    sim.process(body())
+    sim.run()
+    assert t_done == [1.0]
+
+
+def test_interrupt_wakes_sleeping_process():
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as interrupt:
+            log.append((sim.now, interrupt.cause))
+
+    def interrupter(target):
+        yield sim.timeout(2.0)
+        target.interrupt("wake up")
+
+    target = sim.process(sleeper())
+    sim.process(interrupter(target))
+    sim.run()
+    assert log == [(2.0, "wake up")]
+
+
+def test_waiting_on_already_processed_event():
+    sim = Simulator()
+    results = []
+
+    def body():
+        done = sim.timeout(1.0, value="early")
+        yield sim.timeout(5.0)
+        value = yield done  # already fired at t=1
+        results.append((sim.now, value))
+
+    sim.process(body())
+    sim.run()
+    assert results == [(5.0, "early")]
+
+
+def test_peek_reports_next_event_time():
+    sim = Simulator()
+    assert sim.peek() == float("inf")
+    sim.timeout(4.0)
+    assert sim.peek() == 4.0

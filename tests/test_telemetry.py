@@ -1,0 +1,117 @@
+"""Unit tests for metric collectors and reporting."""
+
+import pytest
+
+from repro.telemetry import BandwidthMeter, Counter, LatencyRecorder, Series, format_series, format_table
+
+
+class TestCounter:
+    def test_add_accumulates(self):
+        counter = Counter("requests")
+        counter.add()
+        counter.add(4)
+        assert counter.value == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().add(-1)
+
+
+class TestLatencyRecorder:
+    def test_mean(self):
+        recorder = LatencyRecorder()
+        for value in [1.0, 2.0, 3.0]:
+            recorder.record(value)
+        assert recorder.mean() == pytest.approx(2.0)
+
+    def test_percentile_nearest_rank(self):
+        recorder = LatencyRecorder()
+        for value in range(1, 101):  # 1..100
+            recorder.record(float(value))
+        assert recorder.percentile(0.50) == 50.0
+        assert recorder.percentile(0.99) == 99.0
+        assert recorder.percentile(1.0) == 100.0
+
+    def test_p999_picks_tail_sample(self):
+        recorder = LatencyRecorder()
+        for _ in range(999):
+            recorder.record(1.0)
+        recorder.record(100.0)
+        assert recorder.percentile(0.999) == 1.0
+        assert recorder.percentile(1.0) == 100.0
+
+    def test_summary_keys(self):
+        recorder = LatencyRecorder()
+        recorder.record(1.0)
+        assert set(recorder.summary()) == {"avg", "p50", "p99", "p999"}
+
+    def test_empty_recorder_raises(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().mean()
+        with pytest.raises(ValueError):
+            LatencyRecorder().percentile(0.99)
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().record(-0.1)
+
+    def test_bad_fraction_rejected(self):
+        recorder = LatencyRecorder()
+        recorder.record(1.0)
+        with pytest.raises(ValueError):
+            recorder.percentile(0.0)
+        with pytest.raises(ValueError):
+            recorder.percentile(1.5)
+
+
+class TestBandwidthMeter:
+    def test_rate_over_event_span(self):
+        meter = BandwidthMeter()
+        meter.record(1.0, 100)
+        meter.record(3.0, 100)
+        assert meter.rate() == pytest.approx(100.0)  # 200 B over 2 s
+
+    def test_rate_with_explicit_duration(self):
+        meter = BandwidthMeter()
+        meter.record(0.5, 500)
+        assert meter.rate(duration=5.0) == pytest.approx(100.0)
+
+    def test_empty_meter_rate_is_zero(self):
+        assert BandwidthMeter().rate() == 0.0
+
+    def test_single_event_rate_is_zero_without_duration(self):
+        meter = BandwidthMeter()
+        meter.record(1.0, 100)
+        assert meter.rate() == 0.0
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "long-name" in lines[3]
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_series_requires_matching_lengths(self):
+        with pytest.raises(ValueError):
+            Series("s", (1.0, 2.0), (1.0,))
+
+    def test_series_peak(self):
+        series = Series("s", (1.0, 2.0, 3.0), (5.0, 9.0, 7.0))
+        assert series.peak() == 9.0
+
+    def test_format_series_shares_x_axis(self):
+        a = Series("a", (1.0, 2.0), (10.0, 20.0))
+        b = Series("b", (1.0, 2.0), (30.0, 40.0))
+        text = format_series([a, b], x_label="cores")
+        assert "cores" in text and "a" in text and "b" in text
+
+    def test_format_series_rejects_mismatched_x(self):
+        a = Series("a", (1.0, 2.0), (10.0, 20.0))
+        b = Series("b", (1.0, 3.0), (30.0, 40.0))
+        with pytest.raises(ValueError):
+            format_series([a, b], x_label="x")

@@ -1,0 +1,79 @@
+"""Tests for the simulation event tracer."""
+
+import pytest
+
+from repro.sim import Simulator, Tracer
+
+
+def run_small_sim(sim):
+    def worker(tag):
+        yield sim.timeout(1.0)
+        yield sim.timeout(2.0)
+
+    for tag in range(3):
+        sim.process(worker(tag))
+    sim.run()
+
+
+class TestTracer:
+    def test_records_processed_events(self):
+        sim = Simulator()
+        tracer = Tracer(sim)
+        run_small_sim(sim)
+        assert tracer.events_seen > 0
+        times = [when for when, _name in tracer.records]
+        assert times == sorted(times)
+
+    def test_name_filter(self):
+        sim = Simulator()
+        tracer = Tracer(sim, name_filter="timeout")
+        run_small_sim(sim)
+        assert tracer.events_seen > 0
+        assert all("timeout" in name for _when, name in tracer.records)
+
+    def test_limit_keeps_most_recent(self):
+        sim = Simulator()
+        tracer = Tracer(sim, limit=5)
+        run_small_sim(sim)
+        assert len(tracer.records) <= 5
+        # The retained records are the latest ones.
+        assert tracer.records[-1][0] == 3.0
+
+    def test_stop_detaches(self):
+        sim = Simulator()
+        tracer = Tracer(sim)
+        tracer.stop()
+        run_small_sim(sim)
+        assert tracer.events_seen == 0
+        assert sim._tracers == []
+
+    def test_between_window(self):
+        sim = Simulator()
+        tracer = Tracer(sim)
+        run_small_sim(sim)
+        window = tracer.between(0.5, 1.5)
+        assert window
+        assert all(0.5 <= when <= 1.5 for when, _ in window)
+
+    def test_format_output(self):
+        sim = Simulator()
+        tracer = Tracer(sim)
+        run_small_sim(sim)
+        text = tracer.format(last=4)
+        assert "us" in text
+        assert len(text.splitlines()) <= 4
+
+    def test_format_empty(self):
+        sim = Simulator()
+        tracer = Tracer(sim)
+        assert "no events" in tracer.format()
+
+    def test_invalid_limit(self):
+        with pytest.raises(ValueError):
+            Tracer(Simulator(), limit=0)
+
+    def test_no_tracer_zero_overhead_path(self):
+        # Just exercises the untraced fast path for completeness.
+        sim = Simulator()
+        run_small_sim(sim)
+        assert sim._tracers == []

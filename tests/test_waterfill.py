@@ -1,0 +1,78 @@
+"""Unit and property-based tests for the water-filling allocator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import water_fill
+
+
+class TestWaterFillBasics:
+    def test_undersubscribed_everyone_gets_demand(self):
+        assert water_fill(100.0, [10.0, 20.0, 30.0]) == [10.0, 20.0, 30.0]
+
+    def test_oversubscribed_equal_split(self):
+        assert water_fill(90.0, [100.0, 100.0, 100.0]) == [30.0, 30.0, 30.0]
+
+    def test_small_demand_saturates_first(self):
+        allocations = water_fill(100.0, [10.0, 1000.0, 1000.0])
+        assert allocations[0] == 10.0
+        assert allocations[1] == pytest.approx(45.0)
+        assert allocations[2] == pytest.approx(45.0)
+
+    def test_weights_bias_the_split(self):
+        allocations = water_fill(90.0, [1000.0, 1000.0], weights=[2.0, 1.0])
+        assert allocations[0] == pytest.approx(60.0)
+        assert allocations[1] == pytest.approx(30.0)
+
+    def test_zero_capacity(self):
+        assert water_fill(0.0, [5.0, 5.0]) == [0.0, 0.0]
+
+    def test_empty_demands(self):
+        assert water_fill(10.0, []) == []
+
+    def test_zero_demand_flow_gets_zero(self):
+        assert water_fill(10.0, [0.0, 5.0]) == [0.0, 5.0]
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            water_fill(-1.0, [1.0])
+        with pytest.raises(ValueError):
+            water_fill(1.0, [-1.0])
+        with pytest.raises(ValueError):
+            water_fill(1.0, [1.0], weights=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            water_fill(1.0, [1.0], weights=[0.0])
+
+
+demand_lists = st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=20)
+capacities = st.floats(min_value=0.0, max_value=1e6)
+
+
+class TestWaterFillProperties:
+    @given(capacities, demand_lists)
+    def test_never_exceeds_demand_or_capacity(self, capacity, demands):
+        allocations = water_fill(capacity, demands)
+        assert len(allocations) == len(demands)
+        for allocation, demand in zip(allocations, demands):
+            assert 0.0 <= allocation <= demand + 1e-6
+        assert sum(allocations) <= capacity + 1e-6 * max(1.0, capacity)
+
+    @given(capacities, demand_lists)
+    def test_work_conserving_when_oversubscribed(self, capacity, demands):
+        allocations = water_fill(capacity, demands)
+        total_demand = sum(demands)
+        expected = min(capacity, total_demand)
+        assert sum(allocations) == pytest.approx(expected, rel=1e-6, abs=1e-6)
+
+    @given(capacities, demand_lists)
+    def test_capped_flows_only_below_fair_share(self, capacity, demands):
+        """If a flow is throttled, no other flow got more than it unless that
+        other flow's demand was itself smaller."""
+        allocations = water_fill(capacity, demands)
+        throttled = [
+            i for i, (a, d) in enumerate(zip(allocations, demands)) if a < d - 1e-6
+        ]
+        for i in throttled:
+            for j in range(len(demands)):
+                if j != i and allocations[j] > allocations[i] + 1e-6:
+                    assert allocations[j] == pytest.approx(demands[j], rel=1e-6, abs=1e-6)

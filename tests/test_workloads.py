@@ -1,0 +1,185 @@
+"""Tests for request generation, the client driver, and the MLC injector."""
+
+import pytest
+
+from repro.compression import SilesiaLikeCorpus
+from repro.hostmodel.memory import MemorySubsystem
+from repro.middletier import CpuOnlyMiddleTier, Testbed
+from repro.params import PlatformSpec
+from repro.sim import Simulator
+from repro.units import msec, usec
+from repro.workloads import ClientDriver, MlcInjector, WriteRequestFactory
+
+
+class TestWriteRequestFactory:
+    def test_synthetic_requests_have_paper_shape(self):
+        factory = WriteRequestFactory()
+        message = factory.make()
+        assert message.kind == "write_request"
+        assert message.header_size == 64
+        assert message.payload.size == 4096
+        assert message.payload.data is None
+
+    def test_lbas_are_sequential_and_mapped(self):
+        platform = PlatformSpec()
+        factory = WriteRequestFactory(platform)
+        first = factory.make()
+        second = factory.make()
+        assert first.header["block_id"] == 0
+        assert second.header["block_id"] == 1
+        blocks_per_chunk = platform.storage.chunk_bytes // platform.workload.block_size
+        deep = None
+        for _ in range(2):
+            deep = factory.make()
+        assert factory.make().header["chunk_id"] == 0
+        # A block one chunk in lands in chunk 1.
+        factory._next_lba = blocks_per_chunk
+        assert factory.make().header["chunk_id"] == 1
+
+    def test_functional_mode_carries_real_bytes(self):
+        blocks = SilesiaLikeCorpus(seed=1, file_size=4096).blocks(4096)[:4]
+        factory = WriteRequestFactory(blocks=blocks)
+        message = factory.make()
+        assert message.payload.data == blocks[0]
+
+    def test_latency_sensitive_fraction(self):
+        factory = WriteRequestFactory(latency_sensitive_fraction=1.0)
+        assert factory.make().header["latency_sensitive"]
+        factory = WriteRequestFactory(latency_sensitive_fraction=0.0)
+        assert not factory.make().header["latency_sensitive"]
+
+    def test_deterministic_given_seed(self):
+        a = WriteRequestFactory(latency_sensitive_fraction=0.5, seed=5)
+        b = WriteRequestFactory(latency_sensitive_fraction=0.5, seed=5)
+        flags_a = [a.make().header["latency_sensitive"] for _ in range(20)]
+        flags_b = [b.make().header["latency_sensitive"] for _ in range(20)]
+        assert flags_a == flags_b
+
+    def test_make_read(self):
+        factory = WriteRequestFactory()
+        read = factory.make_read(lba=17)
+        assert read.kind == "read_request"
+        assert read.header["block_id"] == 17
+        assert read.payload is None
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            WriteRequestFactory(latency_sensitive_fraction=1.5)
+        with pytest.raises(ValueError):
+            WriteRequestFactory(blocks=[])
+
+
+class TestClientDriver:
+    def _run(self, n_requests=60, concurrency=4, warmup=0.1):
+        sim = Simulator()
+        testbed = Testbed(sim)
+        tier = CpuOnlyMiddleTier(sim, testbed, n_workers=2)
+        driver = ClientDriver(
+            sim,
+            tier,
+            WriteRequestFactory(testbed.platform, seed=2),
+            concurrency=concurrency,
+            warmup_fraction=warmup,
+        )
+        result = sim.run(until=driver.run(n_requests))
+        return driver, result
+
+    def test_all_requests_complete(self):
+        driver, result = self._run()
+        # warmup excluded: 60 * 0.9 = 54 measured
+        assert result.requests == 54
+
+    def test_throughput_positive(self):
+        _driver, result = self._run()
+        assert result.throughput > 0
+        assert result.payload_bytes == result.requests * 4096
+
+    def test_latency_samples_match_requests(self):
+        _driver, result = self._run()
+        assert result.latency.count == result.requests
+
+    def test_zero_warmup_keeps_all(self):
+        _driver, result = self._run(warmup=0.0)
+        assert result.requests == 60
+
+    def test_no_unmatched_replies(self):
+        driver, _result = self._run()
+        assert driver.replies_unmatched.value == 0
+
+    def test_invalid_args(self):
+        sim = Simulator()
+        testbed = Testbed(sim)
+        tier = CpuOnlyMiddleTier(sim, testbed, n_workers=1)
+        factory = WriteRequestFactory(testbed.platform)
+        with pytest.raises(ValueError):
+            ClientDriver(sim, tier, factory, concurrency=0)
+        with pytest.raises(ValueError):
+            ClientDriver(sim, tier, factory, concurrency=1, warmup_fraction=0.9)
+        driver = ClientDriver(sim, tier, factory, concurrency=8)
+        with pytest.raises(ValueError):
+            driver.run(4)  # below concurrency
+
+
+class TestMlcInjector:
+    def test_injects_bandwidth(self):
+        sim = Simulator()
+        memory = MemorySubsystem.for_host(sim)
+        mlc = MlcInjector(sim, memory, n_threads=4, delay=0.0, chunk=4096)
+        mlc.start()
+        sim.run(until=msec(1))
+        assert mlc.achieved_bandwidth(msec(1)) > 0
+        assert memory.total_bytes == mlc.meter.total_bytes
+
+    def test_delay_reduces_pressure(self):
+        def bandwidth(delay):
+            sim = Simulator()
+            memory = MemorySubsystem.for_host(sim)
+            mlc = MlcInjector(sim, memory, n_threads=4, delay=delay, chunk=4096)
+            mlc.start()
+            sim.run(until=msec(1))
+            return mlc.achieved_bandwidth(msec(1))
+
+        assert bandwidth(usec(10)) < 0.5 * bandwidth(0.0)
+
+    def test_read_fraction_splits_traffic(self):
+        sim = Simulator()
+        memory = MemorySubsystem.for_host(sim)
+        mlc = MlcInjector(sim, memory, n_threads=1, delay=0.0, chunk=4096, read_fraction=0.5)
+        mlc.start()
+        sim.run(until=msec(1))
+        total = memory.read_meter.total_bytes + memory.write_meter.total_bytes
+        assert abs(memory.read_meter.total_bytes / total - 0.5) < 0.1
+
+    def test_stop_halts_injection(self):
+        sim = Simulator()
+        memory = MemorySubsystem.for_host(sim)
+        mlc = MlcInjector(sim, memory, n_threads=2, delay=0.0)
+        mlc.start()
+        sim.run(until=msec(0.5))
+        mlc.stop()
+        sim.run(until=msec(0.6))
+        frozen = mlc.meter.total_bytes
+        sim.run(until=msec(2))
+        assert mlc.meter.total_bytes == frozen
+
+    def test_start_idempotent(self):
+        sim = Simulator()
+        memory = MemorySubsystem.for_host(sim)
+        mlc = MlcInjector(sim, memory, n_threads=2, delay=0.0)
+        mlc.start()
+        mlc.start()
+        sim.run(until=usec(50))
+        # 2 threads, not 4: bandwidth bounded accordingly.
+        assert mlc.meter.events > 0
+
+    def test_invalid_args(self):
+        sim = Simulator()
+        memory = MemorySubsystem.for_host(sim)
+        with pytest.raises(ValueError):
+            MlcInjector(sim, memory, n_threads=-1, delay=0.0)
+        with pytest.raises(ValueError):
+            MlcInjector(sim, memory, n_threads=1, delay=-1.0)
+        with pytest.raises(ValueError):
+            MlcInjector(sim, memory, n_threads=1, delay=0.0, chunk=0)
+        with pytest.raises(ValueError):
+            MlcInjector(sim, memory, n_threads=1, delay=0.0, read_fraction=2.0)
