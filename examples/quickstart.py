@@ -102,7 +102,8 @@ def main():
     sim.process(middle_tier())
     sim.run(until=1e-9)  # let the middle tier create its queue pairs first
     sim.process(client())
-    sim.process(storage_server())
+    # Daemon: the storage loop waits for traffic forever by design.
+    sim.process(storage_server(), daemon=True)
     sim.run()
 
     print("block  raw(B)  compressed(B)  ratio  tier latency (us)")

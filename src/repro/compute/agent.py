@@ -86,7 +86,7 @@ class StorageAgent:
         self._tiers.append((tier, qp))
         if id(qp) not in self._reply_loops_started:
             self._reply_loops_started.add(id(qp))
-            self.sim.process(self._reply_loop(qp), name=f"{self.address}.replies")
+            self.sim.process(self._reply_loop(qp), name=f"{self.address}.replies", daemon=True)
 
     def tier_for(self, lba: int) -> tuple["MiddleTierServer", QueuePair]:
         """The middle tier responsible for this LBA's segment."""

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import dataclasses
 import typing
+from collections import OrderedDict
 
 from repro.net.message import Message
 from repro.net.roce import Datapath, QueuePair
@@ -61,13 +62,16 @@ class SplitModule:
     def __init__(self, device: "SmartDsDevice") -> None:
         self.device = device
         self.sim = device.sim
-        self._tables: dict[int, Store] = {}
+        # Keyed by the QueuePair object itself, not id(qp): a table must
+        # never outlive its QP and get inherited by a new QP allocated at
+        # the same address after garbage collection.
+        self._tables: dict[QueuePair, Store] = {}
 
     def _table(self, qp: QueuePair) -> Store:
-        table = self._tables.get(id(qp))
+        table = self._tables.get(qp)
         if table is None:
             table = Store(self.sim, name=f"split-table:{qp.endpoint.address}")
-            self._tables[id(qp)] = table
+            self._tables[qp] = table
         return table
 
     def post(self, descriptor: SplitDescriptor) -> None:
@@ -103,7 +107,10 @@ class AamsDatapath(Datapath):
     def __init__(self, device: "SmartDsDevice", split: SplitModule) -> None:
         self.device = device
         self.split = split
-        self._header_cache: set = set()
+        # Bounded LRU: key -> header content at fetch time. Content is
+        # kept so a re-fetch with *different* header bytes invalidates
+        # the entry instead of replaying a stale header on the wire.
+        self._header_cache: OrderedDict[tuple, dict] = OrderedDict()
 
     def ingress(self, message: Message, qp: QueuePair) -> typing.Generator:
         device = self.device
@@ -111,16 +118,16 @@ class AamsDatapath(Datapath):
             # Header-only control message (storage ack, reply): the RoCE
             # stack surfaces it to the host as a completion-queue entry
             # (RDMA send-with-immediate), not a full DMA of the frame.
-            yield device.pcie.dma_write(device.spec.notify_bytes)
+            yield device.pcie.dma_write(device.spec.notify_bytes, flow=message.flow)
             yield from device.charge_host_header_write(device.spec.notify_bytes)
             return False
         # Large message: wait for (or take) the posted split descriptor.
         descriptor: SplitDescriptor = yield self.split.pop(qp)
         yield device.sim.timeout(device.spec.split_latency)
         header_bytes = min(descriptor.h_size, message.header_size)
-        yield device.pcie.dma_write(header_bytes)
+        yield device.pcie.dma_write(header_bytes, flow=message.flow)
         yield from device.charge_host_header_write(header_bytes)
-        yield device.hbm.write(message.payload.size)
+        yield device.hbm.write(message.payload.size, flow=message.flow)
         descriptor.h_buf.content = dict(message.header)
         descriptor.d_buf.payload = message.payload
         completion = SplitCompletion(
@@ -143,15 +150,22 @@ class AamsDatapath(Datapath):
             message.header.get("chunk_id"),
             message.header.get("block_id"),
         )
-        if cache_key[1] is None or cache_key not in self._header_cache:
-            yield device.pcie.dma_read(message.header_size)
+        cached = self._header_cache.get(cache_key) if cache_key[1] is not None else None
+        if cached is not None and cached == message.header:
+            # Cache hit with identical content: refresh LRU recency.
+            self._header_cache.move_to_end(cache_key)
+        else:
+            # Miss, unkeyed message, or stale content for this key: fetch
+            # the header from host memory and (re)install the entry.
+            yield device.pcie.dma_read(message.header_size, flow=message.flow)
             yield from device.charge_host_header_read(message.header_size)
-            if len(self._header_cache) >= self.HEADER_CACHE_LIMIT:
-                self._header_cache.clear()
             if cache_key[1] is not None:
-                self._header_cache.add(cache_key)
+                self._header_cache[cache_key] = dict(message.header)
+                self._header_cache.move_to_end(cache_key)
+                while len(self._header_cache) > self.HEADER_CACHE_LIMIT:
+                    self._header_cache.popitem(last=False)
         if message.payload is not None and message.payload.size > 0:
-            yield device.hbm.read(message.payload.size)
+            yield device.hbm.read(message.payload.size, flow=message.flow)
         yield device.sim.timeout(device.spec.split_latency)
         return None
 

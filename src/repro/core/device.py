@@ -94,8 +94,9 @@ class RoceInstance:
             f"{device.name}.roce{index}",
             datapath=self.datapath,
             spec=network,
+            fault_plan=device.fault_plan,
         )
-        self.engine = HardwareEngine(device, index)
+        self.engine = HardwareEngine(device, index, fault_plan=device.fault_plan)
 
 
 class SmartDsDevice:
@@ -111,6 +112,7 @@ class SmartDsDevice:
         host_llc: DdioLlc | None = None,
         hbm_capacity: int = gib(8),
         header_ring_bytes: int = mib(1),
+        fault_plan: typing.Any = None,
     ) -> None:
         self.platform = platform or PlatformSpec()
         self.spec = self.platform.smartds
@@ -129,7 +131,11 @@ class SmartDsDevice:
             name=f"{name}.hbm",
         )
         self.allocator = DeviceMemoryAllocator(hbm_capacity)
-        self.pcie = PcieLink(sim, self.platform.host, name=f"{name}.pcie")
+        #: One deterministic fault schedule for the whole card: its loss
+        #: bursts hit the RoCE instances, its stall windows the PCIe
+        #: link, its slowdown windows the hardware engines.
+        self.fault_plan = fault_plan
+        self.pcie = PcieLink(sim, self.platform.host, name=f"{name}.pcie", fault_plan=fault_plan)
         self.host_memory = host_memory
         self.host_llc = host_llc or DdioLlc(self.platform.host)
         self.header_ring_bytes = header_ring_bytes

@@ -19,6 +19,7 @@ from repro.telemetry.metrics import Counter
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.device import DeviceBuffer, SmartDsDevice
+    from repro.sim.debug import FaultPlan
     from repro.sim.process import Process
 
 
@@ -94,6 +95,7 @@ class HardwareEngine:
         profile: CompressorProfile = FPGA_ENGINE,
         operation: typing.Callable[[Payload], Payload] = lz4_compress_op,
         name: str | None = None,
+        fault_plan: "FaultPlan | None" = None,
     ) -> None:
         self.device = device
         self.sim = device.sim
@@ -102,6 +104,8 @@ class HardwareEngine:
         self.operation = operation
         self.name = name or f"{device.name}.engine{index}"
         self._unit = Resource(self.sim, capacity=1, name=self.name)
+        #: Deterministic fault schedule; slowdown windows stretch occupancy.
+        self.fault_plan = fault_plan
         self.blocks_processed = Counter(f"{self.name}.blocks")
         self.bytes_in = Counter(f"{self.name}.bytes-in")
         self.bytes_out = Counter(f"{self.name}.bytes-out")
@@ -112,6 +116,7 @@ class HardwareEngine:
         src_size: int,
         dest: "DeviceBuffer",
         operation: typing.Callable[[Payload], Payload] | None = None,
+        flow: str | None = None,
     ) -> "Process":
         """Process `src_size` bytes from `src` into `dest`.
 
@@ -121,7 +126,7 @@ class HardwareEngine:
         is back in device memory and the host has been notified over
         PCIe.
         """
-        return self.sim.process(self._run(src, src_size, dest, operation), name=self.name)
+        return self.sim.process(self._run(src, src_size, dest, operation, flow), name=self.name)
 
     def _run(
         self,
@@ -129,6 +134,7 @@ class HardwareEngine:
         src_size: int,
         dest: "DeviceBuffer",
         operation: typing.Callable[[Payload], Payload] | None,
+        flow: str | None = None,
     ) -> typing.Generator:
         payload = src.payload
         if payload is None:
@@ -136,13 +142,16 @@ class HardwareEngine:
         if src_size > src.size:
             raise ValueError(f"{self.name}: src_size {src_size} exceeds buffer {src.size}")
         # Fetch input from device memory.
-        yield self.device.hbm.read(src_size)
+        yield self.device.hbm.read(src_size, flow=flow)
         # Stream through the engine; setup latency pipelines (it delays
         # this block without stalling the next one).
         slot = self._unit.request()
         yield slot
         try:
-            yield self.sim.timeout(self.profile.occupancy_time(src_size))
+            occupancy = self.profile.occupancy_time(src_size)
+            if self.fault_plan is not None:
+                occupancy *= self.fault_plan.slowdown(self.sim.now)
+            yield self.sim.timeout(occupancy)
         finally:
             self._unit.release(slot)
         if self.profile.setup_time:
@@ -153,7 +162,7 @@ class HardwareEngine:
                 f"{self.name}: result ({result.size} B) exceeds dest buffer ({dest.size} B)"
             )
         # Write the result back to device memory and notify the host.
-        yield self.device.hbm.write(result.size)
+        yield self.device.hbm.write(result.size, flow=flow)
         dest.payload = result
         yield self.device.pcie.dma_write(self.device.spec.notify_bytes)
         self.blocks_processed.add()

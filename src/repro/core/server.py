@@ -126,6 +126,7 @@ class SmartDsMiddleTier(MiddleTierServer):
         self.sim.process(
             self._dispatch_control(qp.peer, port_index),
             name=f"{self.address}.ctl{port_index}",
+            daemon=True,
         )
         return qp
 
@@ -142,9 +143,12 @@ class SmartDsMiddleTier(MiddleTierServer):
         h_buf = api.host_alloc(header_size)
         d_buf = api.dev_alloc(self._buffer_bytes)
         completion = api.dev_mixed_recv(qp, h_buf, header_size, d_buf, self._buffer_bytes)
+        # Daemon: one of the posted receive-window descriptors; it is
+        # expected to still be waiting for a message when the run drains.
         self.sim.process(
             self._on_recv(port_index, qp, completion, h_buf, d_buf),
             name=f"{self.address}.recv{port_index}",
+            daemon=True,
         )
 
     def _on_recv(
@@ -300,7 +304,9 @@ class _SplitReplyMatcher:
         completion = api.dev_mixed_recv(
             self.qp, h_buf, h_buf.size, d_buf, self.tier._buffer_bytes
         )
-        self.sim.process(self._on_complete(completion, d_buf), name="split-reply-matcher")
+        self.sim.process(
+            self._on_complete(completion, d_buf), name="split-reply-matcher", daemon=True
+        )
 
     def _on_complete(self, completion: typing.Any, d_buf: typing.Any) -> typing.Generator:
         yield from self.tier.api.poll(completion)

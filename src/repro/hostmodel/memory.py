@@ -46,6 +46,7 @@ class MemorySubsystem:
         self.name = name
         self.chunk = chunk
         self._bus = BandwidthServer(sim, rate=rate, name=f"{name}.bus", lanes=lanes)
+        self._ledgers: list = []
         self.read_meter = BandwidthMeter(f"{name}.read")
         self.write_meter = BandwidthMeter(f"{name}.write")
 
@@ -76,20 +77,32 @@ class MemorySubsystem:
         """All bytes moved (reads + writes)."""
         return self.read_meter.total_bytes + self.write_meter.total_bytes
 
-    def read(self, nbytes: int, priority: int = 0) -> typing.Any:
-        """Process: read `nbytes` (chunked)."""
-        return self.sim.process(self._chunked(nbytes, self.read_meter, priority))
+    def attach_ledger(self, ledger: typing.Any) -> None:
+        """Attach a byte-conservation ledger.
 
-    def write(self, nbytes: int, priority: int = 0) -> typing.Any:
+        Flow-tagged traffic is recorded under the directional points
+        ``{name}.read`` / ``{name}.write`` (the meters' names), not the
+        shared bus, so conservation checks can tell the directions apart.
+        """
+        self._ledgers.append(ledger)
+
+    def read(self, nbytes: int, priority: int = 0, flow: str | None = None) -> typing.Any:
+        """Process: read `nbytes` (chunked)."""
+        return self.sim.process(self._chunked(nbytes, self.read_meter, priority, flow))
+
+    def write(self, nbytes: int, priority: int = 0, flow: str | None = None) -> typing.Any:
         """Process: write `nbytes` (chunked)."""
-        return self.sim.process(self._chunked(nbytes, self.write_meter, priority))
+        return self.sim.process(self._chunked(nbytes, self.write_meter, priority, flow))
 
     def _chunked(
-        self, nbytes: int, meter: BandwidthMeter, priority: int
+        self, nbytes: int, meter: BandwidthMeter, priority: int, flow: str | None = None
     ) -> typing.Generator:
         remaining = nbytes
         while remaining > 0:
             step = min(self.chunk, remaining)
             yield self._bus.transfer(step, priority=priority, meter=meter)
+            if flow is not None:
+                for ledger in self._ledgers:
+                    ledger.record(meter.name, flow, step)
             remaining -= step
         return nbytes

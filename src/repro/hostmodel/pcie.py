@@ -23,6 +23,7 @@ from repro.sim.bandwidth import BandwidthServer
 from repro.telemetry.metrics import BandwidthMeter
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.debug import FaultPlan, FlowLedger
     from repro.sim.kernel import Simulator
     from repro.sim.process import Process
 
@@ -33,10 +34,18 @@ _CONTROL_BYTES = 64
 class PcieLink:
     """One PCIe slot: paired upstream (D2H) and downstream (H2D) pipes."""
 
-    def __init__(self, sim: "Simulator", spec: HostSpec | None = None, name: str = "pcie") -> None:
+    def __init__(
+        self,
+        sim: "Simulator",
+        spec: HostSpec | None = None,
+        name: str = "pcie",
+        fault_plan: "FaultPlan | None" = None,
+    ) -> None:
         self.sim = sim
         self.spec = spec or HostSpec()
         self.name = name
+        #: Deterministic fault schedule; stall windows delay DMA legs.
+        self.fault_plan = fault_plan
         overhead = self.spec.pcie_leg_latency
         self.h2d = BandwidthServer(
             sim, rate=self.spec.pcie_rate, name=f"{name}.h2d", per_transfer_overhead=overhead
@@ -50,16 +59,29 @@ class PcieLink:
         self.h2d_meter = BandwidthMeter(f"{name}.h2d")
         self.d2h_meter = BandwidthMeter(f"{name}.d2h")
 
-    def dma_read(self, nbytes: int, priority: int = 0) -> "Process":
+    def attach_ledger(self, ledger: "FlowLedger") -> None:
+        """Attach a byte-conservation ledger to both directions."""
+        self.h2d.attach_ledger(ledger)
+        self.d2h.attach_ledger(ledger)
+
+    def dma_read(self, nbytes: int, priority: int = 0, flow: str | None = None) -> "Process":
         """Device reads `nbytes` of host memory; fires when all data arrived."""
-        return self.sim.process(self._dma_read(nbytes, priority), name=f"{self.name}.read")
+        return self.sim.process(self._dma_read(nbytes, priority, flow), name=f"{self.name}.read")
 
-    def dma_write(self, nbytes: int, priority: int = 0) -> "Process":
+    def dma_write(self, nbytes: int, priority: int = 0, flow: str | None = None) -> "Process":
         """Device writes `nbytes` into host memory; fires when posted upstream."""
-        return self.sim.process(self._dma_write(nbytes, priority), name=f"{self.name}.write")
+        return self.sim.process(self._dma_write(nbytes, priority, flow), name=f"{self.name}.write")
 
-    def _dma_read(self, nbytes: int, priority: int) -> typing.Generator:
+    def _maybe_stall(self, direction: str) -> typing.Generator:
+        """Honor an injected stall window before a leg in `direction`."""
+        if self.fault_plan is not None:
+            delay = self.fault_plan.stall_delay(self.sim.now, direction)
+            if delay > 0:
+                yield self.sim.timeout(delay)
+
+    def _dma_read(self, nbytes: int, priority: int, flow: str | None) -> typing.Generator:
         # Read request travels upstream first (control, unmetered)...
+        yield from self._maybe_stall("d2h")
         yield self.d2h.transfer(_CONTROL_BYTES, priority=priority)
         # ...then completions stream back in chunks, each queueing on the
         # downstream direction.
@@ -67,10 +89,12 @@ class PcieLink:
         remaining = nbytes
         while remaining > 0:
             step = min(chunk, remaining)
-            yield self.h2d.transfer(step, priority=priority, meter=self.h2d_meter)
+            yield from self._maybe_stall("h2d")
+            yield self.h2d.transfer(step, priority=priority, meter=self.h2d_meter, flow=flow)
             remaining -= step
         return nbytes
 
-    def _dma_write(self, nbytes: int, priority: int) -> typing.Generator:
-        yield self.d2h.transfer(max(nbytes, 1), priority=priority, meter=self.d2h_meter)
+    def _dma_write(self, nbytes: int, priority: int, flow: str | None) -> typing.Generator:
+        yield from self._maybe_stall("d2h")
+        yield self.d2h.transfer(max(nbytes, 1), priority=priority, meter=self.d2h_meter, flow=flow)
         return nbytes

@@ -43,7 +43,7 @@ class ResponseMatcher:
         self.qp = qp
         self._waiting: dict[int, Event] = {}
         self.unmatched = Store(sim, name="unmatched-replies")
-        sim.process(self._loop(), name="response-matcher")
+        sim.process(self._loop(), name="response-matcher", daemon=True)
 
     def expect(self, request_id: int) -> Event:
         """Event that fires with the reply to `request_id`."""
@@ -159,7 +159,7 @@ class MiddleTierServer(abc.ABC):
         ignored by single-port ones.
         """
         qp = client_endpoint.connect(self._endpoint_for_port(port_index))
-        self.sim.process(self._dispatch(qp.peer), name=f"{self.address}.dispatch")
+        self.sim.process(self._dispatch(qp.peer), name=f"{self.address}.dispatch", daemon=True)
         return qp
 
     def _endpoint_for_port(self, port_index: int) -> RoceEndpoint:
@@ -183,7 +183,7 @@ class MiddleTierServer(abc.ABC):
             return
         self._started = True
         for index in range(self.n_workers):
-            self.sim.process(self._worker(index), name=f"{self.address}.worker{index}")
+            self.sim.process(self._worker(index), name=f"{self.address}.worker{index}", daemon=True)
 
     # -- the worker loop ----------------------------------------------------
 

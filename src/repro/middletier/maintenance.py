@@ -58,7 +58,7 @@ class LsmCompactionService:
         self._previous_output: dict[tuple[int, int], tuple[tuple[str, int], ...]] = {}
         tier.retain_writes = True
         self._running = True
-        sim.process(self._loop(), name="lsm-compaction")
+        sim.process(self._loop(), name="lsm-compaction", daemon=True)
 
     def stop(self) -> None:
         """Stop scanning after the current pass."""
@@ -170,7 +170,7 @@ class SnapshotService:
         self.snapshots_taken = Counter("snapshots")
         self.snapshot_ids: dict[str, list[int]] = {}
         self._running = True
-        sim.process(self._loop(), name="snapshot-service")
+        sim.process(self._loop(), name="snapshot-service", daemon=True)
 
     def stop(self) -> None:
         """Stop after the current round."""
@@ -213,7 +213,7 @@ class HeartbeatMonitor:
         self.failures_detected = Counter("failures-detected")
         self.blocks_re_replicated = Counter("blocks-re-replicated")
         self._running = True
-        sim.process(self._loop(), name="heartbeat-monitor")
+        sim.process(self._loop(), name="heartbeat-monitor", daemon=True)
 
     def stop(self) -> None:
         """Stop after the current round."""

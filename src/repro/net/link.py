@@ -32,5 +32,10 @@ class NetworkPort:
         self.tx.attach_meter(self.tx_meter)
         self.rx.attach_meter(self.rx_meter)
 
+    def attach_ledger(self, ledger: typing.Any) -> None:
+        """Attach a byte-conservation ledger to both directions."""
+        self.tx.attach_ledger(ledger)
+        self.rx.attach_ledger(ledger)
+
     def __repr__(self) -> str:
         return f"<NetworkPort {self.name!r} rate={self.rate:g} B/s>"

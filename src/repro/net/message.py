@@ -107,6 +107,9 @@ class Message:
     header: dict = dataclasses.field(default_factory=dict)
     request_id: int = dataclasses.field(default_factory=lambda: next(_request_ids))
     created_at: float | None = None
+    #: Optional flow id for byte-conservation audits: transfers charged
+    #: for this message are tagged with it (see repro.sim.debug.FlowLedger).
+    flow: str | None = None
 
     def __post_init__(self) -> None:
         if self.header_size < 0:

@@ -26,6 +26,7 @@ from repro.sim.resources import Store
 from repro.telemetry.metrics import Counter
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.debug import FaultPlan
     from repro.sim.kernel import Simulator
     from repro.sim.process import Process
 
@@ -102,7 +103,7 @@ class QueuePair:
         self._next_tx_seq += 1
         yield from self.endpoint.datapath.egress(message, self)
         while True:
-            yield self.endpoint.port.tx.transfer(wire_bytes)
+            yield self.endpoint.port.tx.transfer(wire_bytes, flow=message.flow)
             yield self.sim.timeout(spec.switch_latency)
             if self.endpoint._frame_lost():
                 # Lossy fabric: the transport retransmits after a
@@ -110,15 +111,20 @@ class QueuePair:
                 self.endpoint.retransmissions.add()
                 yield self.sim.timeout(spec.retransmit_timeout)
                 continue
-            yield self.remote.port.rx.transfer(wire_bytes)
+            yield self.remote.port.rx.transfer(wire_bytes, flow=message.flow)
             break
-        consumed = yield from self.remote.datapath.ingress(message, self.peer)
-        # Deliver strictly in PSN order, like an RC queue pair.
+        # Hold every consumed-message side effect behind the PSN order
+        # gate: the receive datapath (and with it the Split module's
+        # descriptor completion) must run strictly in PSN order, like the
+        # processing pipeline of a real RC queue pair. Running ingress
+        # before the gate let a retransmitted frame's successor complete
+        # first and consume the wrong split descriptor.
         peer = self.peer
         if sequence != peer._rx_next:
             gate = self.sim.event(name=f"order:{sequence}")
             peer._rx_waiters[sequence] = gate
             yield gate
+        consumed = yield from self.remote.datapath.ingress(message, peer)
         if not consumed:
             peer._recv_buffer.put(message)
         peer._rx_next += 1
@@ -148,6 +154,7 @@ class RoceEndpoint:
         datapath: Datapath | None = None,
         spec: NetworkSpec | None = None,
         loss_seed: int = 0,
+        fault_plan: "FaultPlan | None" = None,
     ) -> None:
         self.sim = sim
         self.port = port
@@ -157,9 +164,14 @@ class RoceEndpoint:
         self.queue_pairs: list[QueuePair] = []
         self.retransmissions = Counter(f"{address}.retransmissions")
         self._loss_rng = random.Random(loss_seed) if self.spec.loss_rate > 0 else None
+        #: Deterministic fault schedule (repro.sim.debug.FaultPlan);
+        #: loss bursts here compose with the spec's steady loss_rate.
+        self.fault_plan = fault_plan
 
     def _frame_lost(self) -> bool:
         """Whether this transmission attempt is dropped by the fabric."""
+        if self.fault_plan is not None and self.fault_plan.frame_lost(self.sim.now):
+            return True
         if self._loss_rng is None:
             return False
         return self._loss_rng.random() < self.spec.loss_rate

@@ -12,8 +12,17 @@ by analytic estimators lives in :mod:`repro.sim.waterfill`.
 """
 
 from repro.sim.bandwidth import BandwidthServer
+from repro.sim.debug import (
+    AuditFinding,
+    AuditReport,
+    DrainAuditor,
+    FaultPlan,
+    FaultWindow,
+    FlowLedger,
+    InvariantViolation,
+)
 from repro.sim.events import AllOf, AnyOf, Event, SimulationError, Timeout
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import Simulator, live_simulators
 from repro.sim.process import Process
 from repro.sim.resources import Resource, Store
 from repro.sim.trace import Tracer
@@ -22,8 +31,15 @@ from repro.sim.waterfill import water_fill
 __all__ = [
     "AllOf",
     "AnyOf",
+    "AuditFinding",
+    "AuditReport",
     "BandwidthServer",
+    "DrainAuditor",
     "Event",
+    "FaultPlan",
+    "FaultWindow",
+    "FlowLedger",
+    "InvariantViolation",
     "Process",
     "Resource",
     "SimulationError",
@@ -31,5 +47,6 @@ __all__ = [
     "Store",
     "Timeout",
     "Tracer",
+    "live_simulators",
     "water_fill",
 ]

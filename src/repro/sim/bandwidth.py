@@ -20,6 +20,7 @@ from repro.sim.process import Process
 from repro.sim.resources import Resource
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.debug import FlowLedger
     from repro.sim.kernel import Simulator
     from repro.telemetry.metrics import BandwidthMeter
 
@@ -52,6 +53,7 @@ class BandwidthServer:
         self.per_transfer_overhead = per_transfer_overhead
         self._slots = Resource(sim, lanes, name=f"{name}.lanes")
         self._meters: list["BandwidthMeter"] = []
+        self._ledgers: list["FlowLedger"] = []
         self.bytes_served = 0
 
     @property
@@ -73,6 +75,10 @@ class BandwidthServer:
         """Record every served byte into `meter` as well."""
         self._meters.append(meter)
 
+    def attach_ledger(self, ledger: "FlowLedger") -> None:
+        """Record every flow-tagged transfer into `ledger` (byte-conservation audit)."""
+        self._ledgers.append(ledger)
+
     def service_time(self, nbytes: int) -> float:
         """Time one lane is *occupied* pushing `nbytes` (without queueing).
 
@@ -83,15 +89,26 @@ class BandwidthServer:
         return nbytes / self.lane_rate
 
     def transfer(
-        self, nbytes: int, priority: int = 0, meter: "BandwidthMeter | None" = None
+        self,
+        nbytes: int,
+        priority: int = 0,
+        meter: "BandwidthMeter | None" = None,
+        flow: str | None = None,
     ) -> Process:
-        """Start a transfer; the returned process fires when the last byte lands."""
+        """Start a transfer; the returned process fires when the last byte lands.
+
+        `flow` optionally tags the transfer with a flow id so attached
+        :class:`~repro.sim.debug.FlowLedger` instances can account the
+        bytes for end-to-end conservation checks.
+        """
         if nbytes < 0:
             raise SimulationError(f"cannot transfer {nbytes} bytes")
-        return self.sim.process(self._transfer(nbytes, priority, meter), name=f"xfer:{self.name}")
+        return self.sim.process(
+            self._transfer(nbytes, priority, meter, flow), name=f"xfer:{self.name}"
+        )
 
     def _transfer(
-        self, nbytes: int, priority: int, meter: "BandwidthMeter | None"
+        self, nbytes: int, priority: int, meter: "BandwidthMeter | None", flow: str | None
     ) -> typing.Generator:
         req = self._slots.request(priority)
         yield req
@@ -106,4 +123,7 @@ class BandwidthServer:
             attached.record(self.sim.now, nbytes)
         if meter is not None:
             meter.record(self.sim.now, nbytes)
+        if flow is not None:
+            for ledger in self._ledgers:
+                ledger.record(self.name, flow, nbytes)
         return nbytes

@@ -10,10 +10,21 @@ from __future__ import annotations
 
 import heapq
 import typing
+import weakref
 from itertools import count
 
 from repro.sim.events import AllOf, AnyOf, Event, SimulationError, Timeout
 from repro.sim.process import Process
+
+#: Every live simulator, weakly referenced. The drain auditor (and the
+#: test harness) uses this to find simulators created during a test
+#: without threading the instance through every call site.
+_live_simulators: "weakref.WeakSet[Simulator]" = weakref.WeakSet()
+
+
+def live_simulators() -> tuple["Simulator", ...]:
+    """Snapshot of all simulators currently alive in this interpreter."""
+    return tuple(_live_simulators)
 
 
 class Simulator:
@@ -30,6 +41,11 @@ class Simulator:
         self._sequence = count()
         self._unhandled: list[BaseException] = []
         self._tracers: list[typing.Any] = []  # see repro.sim.trace
+        # Weak registries of model objects, per category ("resource",
+        # "store", "process", "ledger"). Consumed by repro.sim.debug's
+        # DrainAuditor; model code never reads these.
+        self._tracked: dict[str, weakref.WeakSet] = {}
+        _live_simulators.add(self)
 
     @property
     def now(self) -> float:
@@ -46,9 +62,14 @@ class Simulator:
         """Create an event that fires `delay` seconds from now."""
         return Timeout(self, delay, value)
 
-    def process(self, generator: typing.Generator, name: str = "") -> Process:
-        """Wrap a generator as a running process; it starts at the current time."""
-        return Process(self, generator, name=name)
+    def process(self, generator: typing.Generator, name: str = "", daemon: bool = False) -> Process:
+        """Wrap a generator as a running process; it starts at the current time.
+
+        `daemon` marks forever-loop service processes (receive loops,
+        worker pools) that are *expected* to still be parked on an event
+        when the simulation drains; the drain auditor skips them.
+        """
+        return Process(self, generator, name=name, daemon=daemon)
 
     def all_of(self, events: typing.Sequence[Event]) -> AllOf:
         """An event that fires when all of `events` have fired."""
@@ -68,6 +89,18 @@ class Simulator:
     def _report_unhandled(self, exc: BaseException) -> None:
         self._unhandled.append(exc)
 
+    def _track(self, category: str, obj: typing.Any) -> None:
+        """Register `obj` in the weak registry for `category`."""
+        registry = self._tracked.get(category)
+        if registry is None:
+            registry = self._tracked[category] = weakref.WeakSet()
+        registry.add(obj)
+
+    def tracked(self, category: str) -> tuple:
+        """Live tracked objects of `category` ("resource", "store", ...)."""
+        registry = self._tracked.get(category)
+        return tuple(registry) if registry is not None else ()
+
     def step(self) -> None:
         """Process the single next event; raises if the queue is empty."""
         if not self._queue:
@@ -84,8 +117,19 @@ class Simulator:
             # A failure nobody waited on: surface it instead of losing it.
             self._unhandled.append(typing.cast(BaseException, event.value))
         if self._unhandled:
+            # Several processes may fail within one step (e.g. one event
+            # resumes many waiters). Raise the first but keep the others
+            # attached so no failure is silently lost.
             exc = self._unhandled[0]
+            siblings = tuple(self._unhandled[1:])
             self._unhandled.clear()
+            for other in siblings:
+                exc.add_note(f"also unhandled in the same step: {other!r}")
+            if siblings:
+                try:
+                    exc.concurrent_failures = siblings  # type: ignore[attr-defined]
+                except (AttributeError, TypeError):  # exceptions with __slots__
+                    pass
             raise exc
 
     def run(self, until: float | Event | None = None) -> typing.Any:

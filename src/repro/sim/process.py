@@ -30,12 +30,24 @@ class Interrupt(Exception):
 class Process(Event):
     """An event representing a running generator; fires when it returns."""
 
-    def __init__(self, sim: "Simulator", generator: typing.Generator, name: str = "") -> None:
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: typing.Generator,
+        name: str = "",
+        daemon: bool = False,
+    ) -> None:
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise SimulationError(f"process body must be a generator, got {generator!r}")
         super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
         self._generator = generator
         self._waiting_on: Event | None = None
+        #: Daemon processes are service loops expected to outlive the
+        #: workload; the drain auditor does not report them as stuck.
+        self.daemon = daemon
+        track = getattr(sim, "_track", None)
+        if track is not None:
+            track("process", self)
         # Kick the process off via an immediately-succeeding event so that
         # creation order equals start order and creation itself cannot raise
         # model exceptions.

@@ -44,6 +44,9 @@ class Resource:
         self.capacity = capacity
         self._in_use = 0
         self._waiting: list[Request] = []
+        track = getattr(sim, "_track", None)
+        if track is not None:
+            track("resource", self)
 
     @property
     def in_use(self) -> int:
@@ -76,7 +79,12 @@ class Resource:
             raise SimulationError(f"{request!r} does not belong to {self.name!r}")
         if not request.triggered:
             # Cancelling a queued request.
-            self._waiting.remove(request)
+            try:
+                self._waiting.remove(request)
+            except ValueError:
+                raise SimulationError(
+                    f"{request!r} is not queued on {self.name!r} (already cancelled?)"
+                ) from None
             return
         if self._in_use <= 0:
             raise SimulationError(f"release() on idle resource {self.name!r}")
@@ -116,6 +124,9 @@ class Store:
         self._items: deque = deque()
         self._getters: deque[Event] = deque()
         self._putters: deque[tuple[Event, typing.Any]] = deque()
+        track = getattr(sim, "_track", None)
+        if track is not None:
+            track("store", self)
 
     def __len__(self) -> int:
         return len(self._items)

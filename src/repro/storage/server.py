@@ -50,7 +50,7 @@ class StorageServer:
 
     def serve(self, qp: QueuePair) -> None:
         """Start a service loop on one connection (call once per QP)."""
-        self.sim.process(self._serve(qp), name=f"storage:{self.address}")
+        self.sim.process(self._serve(qp), name=f"storage:{self.address}", daemon=True)
 
     def accept_from(self, remote: RoceEndpoint) -> QueuePair:
         """Connect `remote` to this server and start serving; returns remote's QP."""

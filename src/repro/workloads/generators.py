@@ -152,7 +152,7 @@ class OpenLoopDriver:
         self.qp = tier.attach_client(self.endpoint, port_index=port_index)
         self._samples: list[tuple[float, float, int]] = []
         self._reply_events: dict[int, typing.Any] = {}
-        sim.process(self._reply_loop(), name=f"{self.address}.replies")
+        sim.process(self._reply_loop(), name=f"{self.address}.replies", daemon=True)
 
     def _reply_loop(self) -> typing.Generator:
         while True:
@@ -240,7 +240,7 @@ class ClientDriver:
         self._samples: list[tuple[float, float, int]] = []  # (start, end, payload)
         self._reply_events: dict[int, typing.Any] = {}
         self.replies_unmatched = Counter(f"{self.address}.unmatched")
-        sim.process(self._reply_loop(), name=f"{self.address}.replies")
+        sim.process(self._reply_loop(), name=f"{self.address}.replies", daemon=True)
 
     def _reply_loop(self) -> typing.Generator:
         while True:

@@ -123,7 +123,7 @@ class TraceReplayer:
         self.qp = tier.attach_client(self.endpoint, port_index=port_index)
         self._reply_events: dict[int, typing.Any] = {}
         self.read_misses = Counter("trace.read-misses")
-        sim.process(self._reply_loop(), name="trace.replies")
+        sim.process(self._reply_loop(), name="trace.replies", daemon=True)
 
     def _reply_loop(self) -> typing.Generator:
         while True:

@@ -53,6 +53,46 @@ class TestSplitModuleTables:
             assert event.message.header["i"] == i
             assert buffers[i].payload is event.message.payload
 
+    def test_fresh_qp_never_inherits_a_dead_qps_table(self):
+        """Descriptor tables are keyed by the QueuePair object, not id(qp).
+
+        Regression: ``SplitModule._tables`` used to be keyed by
+        ``id(qp)``. When a queue pair was garbage collected, CPython
+        readily hands the same address to the next allocation, so a
+        brand-new QP could inherit the dead QP's table — including any
+        descriptors (and blocked ``pop`` getters) still queued on it.
+        """
+        from repro.net.roce import QueuePair
+
+        sim = Simulator()
+        device = SmartDsDevice(sim)
+        split = device.instance(0).split
+        vm = plain_endpoint(sim, "vm")
+        dev_ep = device.instance(0).endpoint
+
+        # Control: confirm the premise — dropping a QueuePair and
+        # allocating another really does reuse object ids here, so an
+        # id-keyed table *would* alias.
+        seen, id_reused = set(), False
+        for _ in range(200):
+            probe = QueuePair(vm, dev_ep)
+            if id(probe) in seen:
+                id_reused = True
+                break
+            seen.add(id(probe))
+        assert id_reused
+
+        # The actual property: every distinct QP gets a distinct, fresh
+        # table, however many dead QPs shared its address.
+        tables = []
+        for _ in range(200):
+            qp = QueuePair(vm, dev_ep)
+            table = split._table(qp)
+            assert all(table is not earlier for earlier in tables)
+            assert len(table) == 0
+            tables.append(table)
+
+    @pytest.mark.drain_audit_exempt  # sender "a" is deliberately left waiting
     def test_separate_qps_have_separate_tables(self):
         sim = Simulator()
         device = SmartDsDevice(sim)
@@ -180,14 +220,21 @@ class TestAssembleHeaderCache:
         sim.run()
         assert self._egress_bytes(device) == 2 * 64
 
-    def test_cache_clears_at_limit(self):
+    def test_cache_evicts_lru_at_limit(self):
+        """A full cache evicts its oldest entry, not the whole set.
+
+        Regression: the cache used to be a plain ``set`` that was cleared
+        wholesale at the limit, throwing away thousands of hot entries
+        because one cold one arrived.
+        """
         sim = Simulator()
         device, api, vm, qp = connected_device(sim)
         datapath = device.instance(0).datapath
-        datapath.HEADER_CACHE_LIMIT  # exists
-        # Fill the cache artificially and confirm the clear-on-limit path.
+        # Fill the cache artificially: entry 0 is the LRU victim.
         for i in range(datapath.HEADER_CACHE_LIMIT):
-            datapath._header_cache.add(("storage_write", 0, i))
+            datapath._header_cache[("storage_write", 0, i)] = {
+                "chunk_id": 0, "block_id": i,
+            }
         sink = plain_endpoint(sim, "sink")
         out_qp = device.instance(0).endpoint.connect(sink)
 
@@ -203,7 +250,68 @@ class TestAssembleHeaderCache:
 
         sim.process(sender())
         sim.run()
-        assert len(datapath._header_cache) == 1  # cleared, then one entry
+        cache = datapath._header_cache
+        assert len(cache) == datapath.HEADER_CACHE_LIMIT  # bounded, not cleared
+        assert ("storage_write", 1, 10**6) in cache  # new entry installed
+        assert ("storage_write", 0, 0) not in cache  # only the LRU left
+        assert ("storage_write", 0, 1) in cache  # ... everything else survived
+
+    def test_cache_hit_refreshes_recency(self):
+        """Re-sending a cached header protects it from LRU eviction."""
+        sim = Simulator()
+        device, api, vm, qp = connected_device(sim)
+        datapath = device.instance(0).datapath
+        sink = plain_endpoint(sim, "sink")
+        out_qp = device.instance(0).endpoint.connect(sink)
+
+        def block_write(block_id):
+            return Message(
+                "storage_write", "t", "sink",
+                header_size=64,
+                payload=Payload.synthetic(512, 1.0),
+                header={"chunk_id": 0, "block_id": block_id},
+            )
+
+        def sender():
+            yield out_qp.send(block_write(1))
+            yield out_qp.send(block_write(2))
+            yield out_qp.send(block_write(1))  # hit: 1 becomes most recent
+
+        sim.process(sender())
+        sim.run()
+        cache = datapath._header_cache
+        assert next(iter(cache)) == ("storage_write", 0, 2)  # 2 is now LRU
+
+    def test_cache_invalidated_when_header_content_changes(self):
+        """Same (kind, chunk, block) with new header bytes must re-fetch.
+
+        Regression: the cache used to remember only the *key*, so a
+        rewritten header for the same block was served from cache — the
+        wire would carry the stale header. Now the entry stores the
+        content and a mismatch forces a fresh PCIe header fetch.
+        """
+        sim = Simulator()
+        device, api, vm, qp = connected_device(sim)
+        sink = plain_endpoint(sim, "sink")
+        out_qp = device.instance(0).endpoint.connect(sink)
+
+        def write(version):
+            return Message(
+                "storage_write", "t", "sink",
+                header_size=64,
+                payload=Payload.synthetic(512, 1.0),
+                header={"chunk_id": 0, "block_id": 7, "version": version},
+            )
+
+        def sender():
+            yield out_qp.send(write(1))  # miss: fetch
+            yield out_qp.send(write(1))  # hit: no fetch
+            yield out_qp.send(write(2))  # same key, new content: must fetch
+            yield out_qp.send(write(2))  # hit again
+
+        sim.process(sender())
+        sim.run()
+        assert self._egress_bytes(device) == 2 * 64
 
 
 class TestHeaderOnlyCqePath:

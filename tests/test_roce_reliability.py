@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.net import Message, NetworkPort, Payload, RoceEndpoint
+from repro.net import Datapath, Message, NetworkPort, Payload, RoceEndpoint
 from repro.params import NetworkSpec
 from repro.sim import Simulator
 from repro.units import gbps, usec
@@ -103,6 +103,84 @@ class TestLossyFabric:
         sim.process(receiver())
         sim.run()
         assert len(got) == len(set(got)) == n_streams * per_stream
+
+
+class _RecordingDatapath(Datapath):
+    """Consumes every message, recording the order ingress ran in."""
+
+    def __init__(self):
+        self.ingress_order = []
+
+    def ingress(self, message, qp):
+        self.ingress_order.append(message.header["i"])
+        return True
+        yield  # pragma: no cover - makes this a generator function
+
+
+class TestPsnOrderedIngress:
+    def test_ingress_side_effects_follow_psn_order_after_loss(self):
+        """Receive-datapath side effects must run strictly in PSN order.
+
+        Regression: ingress used to run as soon as a frame landed, so
+        when message 0's frame was lost, message 1 arrived first and its
+        ingress ran first — on SmartDS that means message 1 consumed the
+        split descriptor posted for message 0, corrupting every request
+        behind a retransmission. Now ingress is held behind the in-order
+        gate, exactly like the processing pipeline of a real RC QP.
+        """
+        sim = Simulator()
+        qp = make_pair(sim, loss_rate=0.0)
+        datapath = _RecordingDatapath()
+        qp.remote.datapath = datapath
+
+        # Deterministically drop message 0's first transmission attempt
+        # and nothing else.
+        drops = iter([True])
+        qp.endpoint._frame_lost = lambda: next(drops, False)
+
+        def sender():
+            sends = [
+                qp.send(Message("data", "l", "r", header={"i": i})) for i in range(3)
+            ]
+            yield sim.all_of(sends)
+
+        sim.process(sender())
+        sim.run()
+        assert qp.endpoint.retransmissions.value == 1
+        assert datapath.ingress_order == [0, 1, 2]
+
+    def test_recv_buffer_order_matches_psn_under_burst_loss(self):
+        """A FaultPlan loss burst delays but never reorders delivery."""
+        from repro.sim.debug import FaultPlan
+
+        sim = Simulator()
+        spec = NetworkSpec(retransmit_timeout=usec(20))
+        plan = FaultPlan(seed=5)
+        plan.add_loss_burst(start=0.0, duration=usec(10))
+        left = RoceEndpoint(
+            sim,
+            NetworkPort(sim, gbps(100), "l.port"),
+            "left",
+            spec=spec,
+            fault_plan=plan,
+        )
+        right = RoceEndpoint(sim, NetworkPort(sim, gbps(100), "r.port"), "right", spec=spec)
+        qp = left.connect(right)
+        got = []
+
+        def sender():
+            sends = [qp.send(Message("d", "l", "r", header={"i": i})) for i in range(10)]
+            yield sim.all_of(sends)
+
+        def receiver():
+            for _ in range(10):
+                got.append((yield qp.peer.recv()).header["i"])
+
+        sim.process(sender())
+        sim.process(receiver())
+        sim.run()
+        assert left.retransmissions.value > 0  # the burst really dropped frames
+        assert got == list(range(10))
 
 
 @settings(max_examples=25, deadline=None)

@@ -121,6 +121,49 @@ def test_unhandled_process_exception_surfaces_in_run():
         sim.run()
 
 
+def test_concurrent_unhandled_exceptions_all_surface():
+    """Several processes failing in one step must not lose any failure.
+
+    Regression: ``step()`` used to pop only ``_unhandled[0]`` and leave
+    the rest in the list — a second process's crash in the same step was
+    silently discarded. Now the first exception is raised with the
+    siblings attached (as ``__notes__`` and ``concurrent_failures``).
+    """
+    sim = Simulator()
+    trigger = sim.timeout(1.0)
+
+    def fail_with(exc):
+        yield trigger
+        raise exc
+
+    first = RuntimeError("first failure")
+    second = ValueError("second failure")
+    sim.process(fail_with(first))
+    sim.process(fail_with(second))
+    with pytest.raises(RuntimeError, match="first failure") as excinfo:
+        sim.run()
+    raised = excinfo.value
+    assert raised is first
+    assert raised.concurrent_failures == (second,)
+    assert any("second failure" in note for note in raised.__notes__)
+    # Nothing left behind to contaminate a later step.
+    assert sim._unhandled == []
+
+
+def test_single_unhandled_exception_has_no_sibling_note():
+    sim = Simulator()
+
+    def body():
+        yield sim.timeout(1.0)
+        raise RuntimeError("alone")
+
+    sim.process(body())
+    with pytest.raises(RuntimeError, match="alone") as excinfo:
+        sim.run()
+    assert not hasattr(excinfo.value, "concurrent_failures")
+    assert not getattr(excinfo.value, "__notes__", [])
+
+
 def test_yielding_non_event_is_an_error():
     sim = Simulator()
 

@@ -86,6 +86,72 @@ class TestResource:
         resource.release(holder)
         assert resource.in_use == 0
 
+    def test_cancel_is_not_a_release(self):
+        """Cancelling a queued request must not grant a phantom slot."""
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        holder = resource.request()
+        queued_a = resource.request()
+        queued_b = resource.request()
+        resource.release(queued_a)  # cancel the middle waiter
+        assert resource.in_use == 1  # holder still owns the only slot
+        assert not queued_b.triggered  # b did not get a slot out of thin air
+        resource.release(holder)
+        assert queued_b.triggered  # b inherits the real slot
+
+    def test_double_cancel_raises(self):
+        """Cancelling the same queued request twice is a model bug.
+
+        Regression: ``_waiting.remove`` used to raise a bare
+        ``ValueError: list.remove(x)`` — now it is a ``SimulationError``
+        naming the resource.
+        """
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        resource.request()
+        queued = resource.request()
+        resource.release(queued)
+        with pytest.raises(SimulationError, match="not queued"):
+            resource.release(queued)
+
+    def test_release_on_idle_resource_raises(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        granted = resource.request()
+        resource.release(granted)
+        with pytest.raises(SimulationError, match="idle"):
+            resource.release(granted)
+
+    def test_release_checks_ownership(self):
+        sim = Simulator()
+        mine = Resource(sim, capacity=1, name="mine")
+        other = Resource(sim, capacity=1, name="other")
+        req = mine.request()
+        with pytest.raises(SimulationError, match="does not belong"):
+            other.release(req)
+
+    def test_equal_priorities_keep_arrival_order(self):
+        """The priority insert is stable: ties are served FIFO."""
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        order = []
+
+        def worker(tag, priority, start):
+            yield sim.timeout(start)
+            req = resource.request(priority=priority)
+            yield req
+            order.append(tag)
+            yield sim.timeout(10.0)
+            resource.release(req)
+
+        sim.process(worker("holder", 0, 0.0))
+        sim.process(worker("a", 1, 1.0))
+        sim.process(worker("b", 1, 2.0))
+        sim.process(worker("c", 1, 3.0))
+        sim.process(worker("urgent", 0, 4.0))
+        sim.run()
+        assert order == ["holder", "urgent", "a", "b", "c"]
+
     def test_bad_capacity_rejected(self):
         with pytest.raises(SimulationError):
             Resource(Simulator(), capacity=0)
@@ -160,6 +226,54 @@ class TestStore:
         sim.process(consumer())
         sim.run()
         assert ("put two", 5.0) in events
+
+    def test_blocked_putters_wake_in_fifo_order(self):
+        """Items from blocked putters enter the buffer in arrival order."""
+        sim = Simulator()
+        store = Store(sim, capacity=1)
+        got = []
+
+        def producer(tag, start):
+            yield sim.timeout(start)
+            yield store.put(tag)
+
+        def consumer():
+            yield sim.timeout(10.0)
+            for _ in range(4):
+                got.append((yield store.get()))
+
+        sim.process(producer("a", 0.0))  # fills the single slot
+        sim.process(producer("b", 1.0))  # blocks
+        sim.process(producer("c", 2.0))  # blocks behind b
+        sim.process(producer("d", 3.0))  # blocks behind c
+        sim.process(consumer())
+        sim.run()
+        assert got == ["a", "b", "c", "d"]
+
+    def test_put_hands_item_straight_to_waiting_getter(self):
+        """With a getter parked, put bypasses the buffer entirely."""
+        sim = Simulator()
+        store = Store(sim, capacity=1)
+        got = []
+
+        def consumer(tag):
+            got.append((tag, (yield store.get())))
+
+        def producer():
+            yield sim.timeout(1.0)
+            yield store.put("x")
+            yield store.put("y")
+
+        sim.process(consumer("first"))
+        sim.process(consumer("second"))
+        sim.process(producer())
+        sim.run()
+        assert got == [("first", "x"), ("second", "y")]
+        assert len(store) == 0
+
+    def test_bad_store_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            Store(Simulator(), capacity=0)
 
 
 class TestBandwidthServer:
