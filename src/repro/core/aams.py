@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import dataclasses
 import typing
+import weakref
 from collections import OrderedDict
 
 from repro.net.message import Message
@@ -64,8 +65,12 @@ class SplitModule:
         self.sim = device.sim
         # Keyed by the QueuePair object itself, not id(qp): a table must
         # never outlive its QP and get inherited by a new QP allocated at
-        # the same address after garbage collection.
-        self._tables: dict[QueuePair, Store] = {}
+        # the same address after garbage collection. Weak keys so the
+        # module does not pin dead QPs (and their Stores) forever under
+        # QP churn — an empty table vanishes with its QP.
+        self._tables: "weakref.WeakKeyDictionary[QueuePair, Store]" = (
+            weakref.WeakKeyDictionary()
+        )
 
     def _table(self, qp: QueuePair) -> Store:
         table = self._tables.get(qp)

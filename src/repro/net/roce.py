@@ -108,6 +108,11 @@ class QueuePair:
             if self.endpoint._frame_lost():
                 # Lossy fabric: the transport retransmits after a
                 # time-out (go-back-N on a real RoCE RC connection).
+                # The attempt's bytes crossed tx but will never cross
+                # rx; book them under `<tx>.dropped` so conservation
+                # holds exactly: tx == rx + tx.dropped.
+                if message.flow is not None:
+                    self.endpoint.port.tx.account("dropped", message.flow, wire_bytes)
                 self.endpoint.retransmissions.add()
                 yield self.sim.timeout(spec.retransmit_timeout)
                 continue

@@ -79,6 +79,17 @@ class BandwidthServer:
         """Record every flow-tagged transfer into `ledger` (byte-conservation audit)."""
         self._ledgers.append(ledger)
 
+    def account(self, suffix: str, flow: str, nbytes: int) -> None:
+        """Book `nbytes` of `flow` at sub-point ``"{name}.{suffix}"``.
+
+        Out-of-band accounting (no pipe time) for bytes that occupied
+        the pipe but never reached the consumer — e.g. frames the fabric
+        dropped — so exact conservation can be asserted:
+        ``tx == rx + tx.dropped``.
+        """
+        for ledger in self._ledgers:
+            ledger.record(f"{self.name}.{suffix}", flow, nbytes)
+
     def service_time(self, nbytes: int) -> float:
         """Time one lane is *occupied* pushing `nbytes` (without queueing).
 

@@ -123,8 +123,9 @@ class Simulator:
             exc = self._unhandled[0]
             siblings = tuple(self._unhandled[1:])
             self._unhandled.clear()
-            for other in siblings:
-                exc.add_note(f"also unhandled in the same step: {other!r}")
+            if hasattr(exc, "add_note"):  # PEP 678, Python 3.11+
+                for other in siblings:
+                    exc.add_note(f"also unhandled in the same step: {other!r}")
             if siblings:
                 try:
                     exc.concurrent_failures = siblings  # type: ignore[attr-defined]

@@ -58,7 +58,7 @@ class LatencyRecorder:
         """Average latency; raises on an empty recorder."""
         if not self._samples:
             raise ValueError(f"no samples recorded in {self.name!r}")
-        return sum(self._samples) / len(self._samples)
+        return math.fsum(self._samples) / len(self._samples)
 
     def percentile(self, fraction: float) -> float:
         """Nearest-rank percentile, e.g. ``percentile(0.99)`` for p99."""

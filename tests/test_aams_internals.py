@@ -92,6 +92,11 @@ class TestSplitModuleTables:
             assert len(table) == 0
             tables.append(table)
 
+        # And the module does not pin dead QPs: the weak-keyed mapping
+        # evicts each dropped QP's entry instead of growing forever.
+        del qp
+        assert len(split._tables) <= 1
+
     @pytest.mark.drain_audit_exempt  # sender "a" is deliberately left waiting
     def test_separate_qps_have_separate_tables(self):
         sim = Simulator()

@@ -234,6 +234,44 @@ class TestFlowLedger:
         assert ledger.total("req-1", "smartds.hbm.write") == 4096
         DrainAuditor(sim).check()
 
+    def test_lossy_fabric_accounts_dropped_attempts_exactly(self):
+        """Lost attempts land in ``<tx>.dropped``: tx == rx + tx.dropped.
+
+        Regression: retransmitted attempts were booked at the tx point
+        only (rx sees just the delivered frame), so a plain ``tx == rx``
+        conservation check spuriously failed whenever loss was active.
+        """
+        from repro.params import NetworkSpec
+        from repro.units import gbps, usec
+
+        sim = Simulator()
+        spec = NetworkSpec(loss_rate=0.4, retransmit_timeout=usec(20))
+        left = RoceEndpoint(
+            sim, NetworkPort(sim, gbps(100), "a.port"), "a", spec=spec, loss_seed=7
+        )
+        right = RoceEndpoint(sim, NetworkPort(sim, gbps(100), "b.port"), "b", spec=spec)
+        qp = left.connect(right)
+        ledger = FlowLedger(sim).attach(left.port, right.port)
+
+        def sender():
+            sends = [
+                qp.send(Message("d", "a", "b", payload=Payload.synthetic(512, 1.0), flow="f"))
+                for _ in range(20)
+            ]
+            yield sim.all_of(sends)
+
+        def receiver():
+            for _ in range(20):
+                yield qp.peer.recv()
+
+        sim.process(sender())
+        sim.process(receiver())
+        sim.run()
+        assert left.retransmissions.value > 0  # loss actually happened
+        assert ledger.total("f", "a.port.tx.dropped") > 0
+        ledger.assert_balanced("f", ["a.port.tx"], ["b.port.rx", "a.port.tx.dropped"])
+        DrainAuditor(sim).check()
+
     def test_replica_fanout_reads_payload_once_per_replica(self):
         """Assemble reads the HBM payload exactly ``replicas`` times."""
         sim = Simulator()
