@@ -71,6 +71,11 @@ class SplitModule:
         self._tables: "weakref.WeakKeyDictionary[QueuePair, Store]" = (
             weakref.WeakKeyDictionary()
         )
+        # QPs whose owner could not post a descriptor because device
+        # memory sat above the admission watermark. Ingress must not
+        # block on a descriptor that will never arrive: a starved QP's
+        # messages take the host path instead (graceful degradation).
+        self._starved: "weakref.WeakSet[QueuePair]" = weakref.WeakSet()
 
     def _table(self, qp: QueuePair) -> Store:
         table = self._tables.get(qp)
@@ -94,6 +99,18 @@ class SplitModule:
     def pop(self, qp: QueuePair) -> "Event":
         """Next descriptor for `qp` (blocks the caller until one is posted)."""
         return self._table(qp).get()
+
+    def mark_starved(self, qp: QueuePair) -> None:
+        """Record that `qp`'s owner failed a gated device-memory alloc."""
+        self._starved.add(qp)
+
+    def clear_starved(self, qp: QueuePair) -> None:
+        """Descriptors flow again for `qp` (a deferred post succeeded)."""
+        self._starved.discard(qp)
+
+    def starved(self, qp: QueuePair) -> bool:
+        """Whether `qp` currently cannot get recv descriptors posted."""
+        return qp in self._starved
 
 
 class AamsDatapath(Datapath):
@@ -125,6 +142,20 @@ class AamsDatapath(Datapath):
             # (RDMA send-with-immediate), not a full DMA of the frame.
             yield device.pcie.dma_write(device.spec.notify_bytes, flow=message.flow)
             yield from device.charge_host_header_write(device.spec.notify_bytes)
+            return False
+        if not self.split.has_descriptor(qp) and self.split.starved(qp):
+            # Degraded ingress: the receiver could not post a descriptor
+            # (device memory above the admission watermark), so waiting on
+            # the table would deadlock. Ship the whole frame to the host
+            # over PCIe like a conventional NIC and surface it to the
+            # software recv queue (return False); the payload lands in
+            # host DRAM instead of HBM.
+            total = message.header_size + message.payload.size
+            yield device.pcie.dma_write(total, flow=message.flow)
+            yield from device.charge_host_header_write(message.header_size)
+            if device.host_memory is not None:
+                yield device.host_memory.write(message.payload.size, flow=message.flow)
+            device.host_path_fallbacks.add()
             return False
         # Large message: wait for (or take) the posted split descriptor.
         descriptor: SplitDescriptor = yield self.split.pop(qp)

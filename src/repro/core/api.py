@@ -104,6 +104,24 @@ class SmartDsApi:
         """Allocate `size` bytes in the SmartDS's device memory."""
         return self.device.allocator.alloc(size)
 
+    def dev_try_alloc(self, size: int) -> DeviceBuffer | None:
+        """Gated device alloc: ``None`` above the admission watermark.
+
+        Callers that can degrade (host-path handling) use this instead of
+        :meth:`dev_alloc`, which raises :class:`MemoryError` only at the
+        hard capacity limit.
+        """
+        return self.device.allocator.try_alloc(size)
+
+    def dev_alloc_within(self, size: int, max_wait: float) -> typing.Generator:
+        """Process body: gated device alloc with a bounded headroom wait.
+
+        ``buffer = yield from api.dev_alloc_within(size, wait)`` — the
+        result is ``None`` if the wait expired, signalling the caller to
+        degrade rather than crash.
+        """
+        return (yield from self.device.allocator.alloc_within(size, max_wait))
+
     def dev_free(self, buffer: DeviceBuffer) -> None:
         """Return a device buffer to the allocator."""
         self.device.allocator.free(buffer)

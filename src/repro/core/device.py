@@ -27,6 +27,7 @@ from repro.hostmodel.pcie import PcieLink
 from repro.net.link import NetworkPort
 from repro.net.roce import RoceEndpoint
 from repro.params import PlatformSpec
+from repro.telemetry.metrics import Counter, Gauge
 from repro.units import gib, kib, mib
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -47,15 +48,64 @@ class DeviceBuffer:
 
     size: int
     payload: typing.Any = None  # a repro.net.message.Payload or None
+    freed: bool = False  # set by the allocator; guards double frees
 
 
 class DeviceMemoryAllocator:
-    """Tracks HBM buffer allocations against the 8 GB capacity."""
+    """Tracks HBM buffer allocations against the 8 GB capacity.
 
-    def __init__(self, capacity: int) -> None:
+    Two admission levels (see ``docs/robustness.md``):
+
+    - :meth:`alloc` is the hard path: it succeeds up to the full
+      capacity and raises :class:`MemoryError` beyond it;
+    - :meth:`try_alloc` / :meth:`alloc_within` are the *gated* path the
+      middle tier uses: admissions stop at ``high_watermark * capacity``
+      and callers either degrade immediately or wait (bounded) for the
+      :meth:`headroom_event` that fires once usage drains below
+      ``low_watermark * capacity``.
+
+    Watermark gating and waiting need a simulator; constructing without
+    one keeps the plain alloc/free behaviour for unit harnesses.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        sim: "Simulator | None" = None,
+        high_watermark: float = 1.0,
+        low_watermark: float | None = None,
+    ) -> None:
+        if not 0.0 < high_watermark <= 1.0:
+            raise ValueError(f"high watermark must be in (0, 1], got {high_watermark!r}")
+        low = high_watermark if low_watermark is None else low_watermark
+        if not 0.0 < low <= high_watermark:
+            raise ValueError(
+                f"low watermark must be in (0, high], got {low!r} (high={high_watermark!r})"
+            )
         self.capacity = capacity
+        self.sim = sim
+        self.high_watermark = high_watermark
+        self.low_watermark = low
         self.allocated = 0
         self.peak = 0
+        self.occupancy = Gauge("hbm.occupancy")
+        self.alloc_deferred = Counter("hbm.alloc-deferred")
+        self.alloc_rejected = Counter("hbm.alloc-rejected")
+        self._waiters: list[tuple[int, "typing.Any"]] = []  # (size, Event)
+
+    @property
+    def admission_limit(self) -> float:
+        """Bytes the gated path may occupy (high watermark)."""
+        return self.high_watermark * self.capacity
+
+    @property
+    def drain_target(self) -> float:
+        """Occupancy below which headroom waiters resume (low watermark)."""
+        return self.low_watermark * self.capacity
+
+    def would_reject(self, size: int) -> bool:
+        """Whether a gated allocation of `size` would be refused right now."""
+        return self.allocated + size > self.admission_limit
 
     def alloc(self, size: int) -> DeviceBuffer:
         if size <= 0:
@@ -66,13 +116,82 @@ class DeviceMemoryAllocator:
             )
         self.allocated += size
         self.peak = max(self.peak, self.allocated)
+        self.occupancy.set(self.allocated)
         return DeviceBuffer(size=size)
 
+    def try_alloc(self, size: int) -> DeviceBuffer | None:
+        """Gated allocation: ``None`` instead of raising above the high watermark."""
+        if size <= 0:
+            raise ValueError(f"allocation size must be positive, got {size}")
+        if self.would_reject(size):
+            return None
+        return self.alloc(size)
+
+    def headroom_event(self, size: int) -> "typing.Any":
+        """Event firing once a gated alloc of `size` fits below the low watermark.
+
+        The event may race with other waiters — re-check with
+        :meth:`try_alloc` after it fires.
+        """
+        if self.sim is None:
+            raise RuntimeError("headroom waiting needs an allocator constructed with a sim")
+        event = self.sim.event(name="hbm-headroom")
+        if self.allocated + size <= self.drain_target:
+            event.succeed()
+        else:
+            self._waiters.append((size, event))
+        return event
+
+    def alloc_within(self, size: int, max_wait: float) -> typing.Generator:
+        """Process body: gated alloc, waiting up to `max_wait` for headroom.
+
+        Returns the buffer, or ``None`` once the bounded wait expires —
+        the caller then degrades (host-path handling) instead of
+        crashing with :class:`MemoryError`. Counted in
+        :attr:`alloc_deferred` (had to wait) / :attr:`alloc_rejected`
+        (wait expired).
+        """
+        buffer = self.try_alloc(size)
+        if buffer is not None:
+            return buffer
+        self.alloc_deferred.add()
+        if self.sim is None or max_wait <= 0:
+            self.alloc_rejected.add()
+            return None
+        deadline = self.sim.timeout(max_wait)
+        while True:
+            headroom = self.headroom_event(size)
+            yield self.sim.any_of([headroom, deadline])
+            buffer = self.try_alloc(size)
+            if buffer is not None:
+                return buffer
+            if deadline.triggered:
+                self.alloc_rejected.add()
+                return None
+
     def free(self, buffer: DeviceBuffer) -> None:
+        if buffer.freed:
+            raise ValueError(
+                f"double free of a {buffer.size}-byte device buffer (already returned)"
+            )
         if buffer.size > self.allocated:
             raise ValueError("freeing more device memory than is allocated")
+        buffer.freed = True
         self.allocated -= buffer.size
+        self.occupancy.set(self.allocated)
         buffer.payload = None
+        self._wake_waiters()
+
+    def _wake_waiters(self) -> None:
+        if not self._waiters or self.allocated > self.drain_target:
+            return
+        pending = []
+        for size, event in self._waiters:
+            if self.allocated + size <= self.drain_target:
+                event.succeed()
+            else:
+                pending.append((size, event))
+        self._waiters = pending
 
 
 class RoceInstance:
@@ -130,7 +249,16 @@ class SmartDsDevice:
             chunk=kib(64),
             name=f"{name}.hbm",
         )
-        self.allocator = DeviceMemoryAllocator(hbm_capacity)
+        recovery = self.platform.recovery
+        self.allocator = DeviceMemoryAllocator(
+            hbm_capacity,
+            sim=sim,
+            high_watermark=recovery.hbm_high_watermark,
+            low_watermark=recovery.hbm_low_watermark,
+        )
+        #: Requests the card handled without the Split module (full frame
+        #: over PCIe) because device memory was above the high watermark.
+        self.host_path_fallbacks = Counter(f"{name}.host-path-fallbacks")
         #: One deterministic fault schedule for the whole card: its loss
         #: bursts hit the RoCE instances, its stall windows the PCIe
         #: link, its slowdown windows the hardware engines.

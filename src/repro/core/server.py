@@ -28,8 +28,9 @@ from repro.hostmodel.cache import DdioLlc
 from repro.hostmodel.memory import MemorySubsystem
 from repro.middletier.base import MiddleTierServer, ResponseMatcher
 from repro.middletier.cluster import Testbed
-from repro.net.message import Message
+from repro.net.message import Message, decompress_payload
 from repro.net.roce import QueuePair, RoceEndpoint
+from repro.telemetry.metrics import Counter
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.kernel import Simulator
@@ -56,15 +57,26 @@ class SmartDsMiddleTier(MiddleTierServer):
         address: str = "tier0",
         memory: MemorySubsystem | None = None,
         recv_window: int = 64,
+        hbm_capacity: int | None = None,
+        fault_plan: typing.Any = None,
     ) -> None:
         if recv_window < 1:
             raise ValueError(f"recv_window must be >= 1, got {recv_window}")
         self._n_ports = n_ports
         self._shared_memory = memory
         self._recv_window = recv_window
+        self._hbm_capacity = hbm_capacity
+        self._fault_plan = fault_plan
         # The paper's provisioning rule (§5.5): two host cores per port.
         workers = n_workers if n_workers is not None else 2 * n_ports
         super().__init__(sim, testbed, workers, address=address)
+        #: Writes served without AAMS/engine help (host-path ingress or
+        #: no device memory for the compressed output) — the graceful-
+        #: degradation signal experiments plot against fault intensity.
+        self.requests_degraded = Counter(f"{address}.requests-degraded")
+        #: Reads whose reply payload landed in host memory (no split
+        #: descriptor) or was decompressed in software (no HBM output).
+        self.reads_degraded = Counter(f"{address}.reads-degraded")
 
     @property
     def n_ports(self) -> int:
@@ -77,6 +89,9 @@ class SmartDsMiddleTier(MiddleTierServer):
             self.sim, host, name=f"{self.address}.dram"
         )
         self.llc = DdioLlc(host)
+        device_kwargs: dict[str, typing.Any] = {}
+        if self._hbm_capacity is not None:
+            device_kwargs["hbm_capacity"] = self._hbm_capacity
         self.device = SmartDsDevice(
             self.sim,
             self.platform,
@@ -84,6 +99,8 @@ class SmartDsMiddleTier(MiddleTierServer):
             name=f"{self.address}.smartds",
             host_memory=self.memory,
             host_llc=self.llc,
+            fault_plan=self._fault_plan,
+            **device_kwargs,
         )
         self.api = SmartDsApi(self.device)
         self._buffer_bytes = self.platform.workload.block_size + _BUFFER_SLACK
@@ -137,11 +154,26 @@ class SmartDsMiddleTier(MiddleTierServer):
             self._requests.put((qp, message))
 
     def _post_recv(self, port_index: int, qp: QueuePair) -> None:
-        """Post one mixed-recv descriptor; its completion reposts another."""
+        """Post one mixed-recv descriptor; its completion reposts another.
+
+        Posting goes through the gated allocator: above the high
+        watermark the descriptor is *not* posted — the QP is flagged
+        starved so ingress degrades to the host path instead of blocking
+        on an empty table — and a deferred repost waits for headroom.
+        """
         api = self.api
         header_size = self.platform.workload.header_size
+        d_buf = api.dev_try_alloc(self._buffer_bytes)
+        if d_buf is None:
+            split = self.device.instance(port_index).split
+            split.mark_starved(qp)
+            self.sim.process(
+                self._deferred_post_recv(port_index, qp),
+                name=f"{self.address}.recv-defer{port_index}",
+                daemon=True,
+            )
+            return
         h_buf = api.host_alloc(header_size)
-        d_buf = api.dev_alloc(self._buffer_bytes)
         completion = api.dev_mixed_recv(qp, h_buf, header_size, d_buf, self._buffer_bytes)
         # Daemon: one of the posted receive-window descriptors; it is
         # expected to still be waiting for a message when the run drains.
@@ -150,6 +182,11 @@ class SmartDsMiddleTier(MiddleTierServer):
             name=f"{self.address}.recv{port_index}",
             daemon=True,
         )
+
+    def _deferred_post_recv(self, port_index: int, qp: QueuePair) -> typing.Generator:
+        yield self.device.allocator.headroom_event(self._buffer_bytes)
+        self.device.instance(port_index).split.clear_starved(qp)
+        self._post_recv(port_index, qp)
 
     def _on_recv(
         self,
@@ -183,20 +220,38 @@ class SmartDsMiddleTier(MiddleTierServer):
 
     def _compress_and_complete(self, qp: QueuePair, message: Message) -> typing.Generator:
         api = self.api
-        port_index, h_buf, d_recv = self._buffers.pop(message.request_id)
+        entry = self._buffers.pop(message.request_id, None)
+        posts = self.platform.storage.replication + 1
+        if entry is None:
+            # Degraded host-path write: ingress fell back under memory
+            # pressure, so the payload sits in host DRAM, not HBM. Skip
+            # the engine and replicate the raw payload — durability is
+            # preserved, compression is sacrificed.
+            self.requests_degraded.add()
+            yield self.sim.timeout(self.platform.host.post_descriptor_time * posts)
+            yield from self._replicate_and_reply(qp, message, message.payload)
+            return
+        port_index, h_buf, d_recv = entry
         engine = self.device.instance(port_index).engine
         d_send = None
         if message.header.get("latency_sensitive"):
             outgoing = message.payload
         else:
-            d_send = api.dev_alloc(self._buffer_bytes)
-            completion = api.dev_func(
-                d_recv, message.payload.size, d_send, self._buffer_bytes, engine
+            d_send = yield from api.dev_alloc_within(
+                self._buffer_bytes, self.platform.recovery.degraded_alloc_wait
             )
-            yield from api.poll(completion)
-            outgoing = d_send.payload
+            if d_send is None:
+                # No HBM for the compressed output within the bounded
+                # wait: ship the raw payload instead of crashing.
+                self.requests_degraded.add()
+                outgoing = message.payload
+            else:
+                completion = api.dev_func(
+                    d_recv, message.payload.size, d_send, self._buffer_bytes, engine
+                )
+                yield from api.poll(completion)
+                outgoing = d_send.payload
         # Post the replica sends and the VM reply (completion-context CPU).
-        posts = self.platform.storage.replication + 1
         yield self.sim.timeout(self.platform.host.post_descriptor_time * posts)
         try:
             yield from self._replicate_and_reply(qp, message, outgoing)
@@ -211,7 +266,15 @@ class SmartDsMiddleTier(MiddleTierServer):
         self, worker_index: int, qp: QueuePair, message: Message
     ) -> typing.Generator:
         """§2.2.2 on SmartDS: reply payloads land in HBM via mixed recv,
-        decompress on the port engine, and leave via the Assemble path."""
+        decompress on the port engine, and leave via the Assemble path.
+
+        Same fail-over discipline as the base class: per-attempt
+        time-outs, rotation through the replica set (skipping suspected
+        servers), and ``status="unavailable"`` once the retry policy's
+        budget runs out. Under device-memory pressure a reply payload
+        may instead arrive whole on the control path (host DRAM); the
+        read then completes degraded with a software decompress.
+        """
         api = self.api
         key = (message.header.get("chunk_id", 0), message.header.get("block_id", 0))
         locations = self._block_locations.get(key)
@@ -219,48 +282,106 @@ class SmartDsMiddleTier(MiddleTierServer):
             yield qp.send(message.reply("read_reply", status="not_found"))
             return
         port_index = message.header.get("arrival_port", 0)
-        server = self.testbed.server(locations[0])
-        storage_qp, control_matcher = self._port_links[port_index][server.address]
-        reply_matcher = self._read_matchers.get((port_index, server.address))
-        if reply_matcher is None:
-            reply_matcher = _SplitReplyMatcher(self, storage_qp)
-            self._read_matchers[(port_index, server.address)] = reply_matcher
+        policy = self.read_retry
+        token = self._retry_token(message)
+        start = self.sim.now
+        attempts = 0
+        stored: Message | None = None
+        d_buf: typing.Any = None
+        reply_matcher: "_SplitReplyMatcher | None" = None
+        while stored is None:
+            address = self._read_replica_for(locations, attempts)
+            if (
+                address is None
+                or policy.attempts_exhausted(attempts)
+                or policy.deadline_expired(self.sim.now - start)
+            ):
+                self.reads_unavailable.add()
+                yield qp.send(message.reply("read_reply", status="unavailable"))
+                return
+            attempts += 1
+            backoff = policy.backoff_before(attempts, token)
+            if backoff > 0:
+                yield self.sim.timeout(backoff)
+            server = self.testbed.server(address)
+            storage_qp, control_matcher = self._port_links[port_index][address]
+            reply_matcher = self._read_matchers.get((port_index, address))
+            if reply_matcher is None:
+                reply_matcher = _SplitReplyMatcher(self, storage_qp)
+                self._read_matchers[(port_index, address)] = reply_matcher
 
-        fetch = Message(
-            kind="storage_read",
-            src=self.address,
-            dst=server.address,
-            header_size=message.header_size,
-            header={"chunk_id": key[0], "block_id": key[1]},
-        )
-        # A reply with data is consumed by the Split module (payload to
-        # HBM); a miss is header-only and lands at the control matcher.
-        data_event = reply_matcher.expect(fetch.request_id)
-        miss_event = control_matcher.expect(fetch.request_id)
-        yield storage_qp.send(fetch)
-        yield self.sim.any_of([data_event, miss_event])
+            fetch = Message(
+                kind="storage_read",
+                src=self.address,
+                dst=server.address,
+                header_size=message.header_size,
+                header={"chunk_id": key[0], "block_id": key[1]},
+            )
+            # A reply with data is consumed by the Split module (payload
+            # to HBM); a miss is header-only and lands at the control
+            # matcher — as does a *full* reply when the device degraded
+            # this QP to host-path ingress.
+            data_event = reply_matcher.expect(fetch.request_id)
+            ctl_event = control_matcher.expect(fetch.request_id)
+            yield storage_qp.send(fetch)
+            deadline = self.sim.timeout(policy.timeout_for(attempts, self.sim.now - start))
+            yield self.sim.any_of([data_event, ctl_event, deadline])
 
-        if miss_event.triggered:
-            reply_matcher.forget(fetch.request_id)
-            yield qp.send(message.reply("read_reply", status="not_found"))
-            return
-        control_matcher.forget(fetch.request_id)
-        stored, d_buf = data_event.value
+            if data_event.triggered:
+                control_matcher.forget(fetch.request_id)
+                stored, d_buf = data_event.value
+            elif ctl_event.triggered:
+                reply_matcher.forget(fetch.request_id)
+                ctl: Message = ctl_event.value
+                if ctl.kind == "storage_read_reply" and ctl.payload is not None:
+                    stored = ctl  # degraded: payload is in host memory
+                else:
+                    yield qp.send(message.reply("read_reply", status="not_found"))
+                    return
+            else:
+                # Attempt timed out: release interest on both matchers
+                # and rotate to the next replica (§2.2.3 fail-over).
+                reply_matcher.forget(fetch.request_id)
+                control_matcher.forget(fetch.request_id)
+                self.read_failovers.add()
+
         payload = stored.payload
-        d_out = api.dev_alloc(self._buffer_bytes)
+        if d_buf is None:
+            # Host-path reply: decompress in software from host DRAM.
+            self.reads_degraded.add()
+            if payload.is_compressed:
+                yield self.memory.read(payload.size)
+                payload = decompress_payload(payload)
+            response = message.reply("read_reply", status="ok")
+            response.payload = payload
+            yield qp.send(response)
+            self.requests_completed.add()
+            return
+        d_out = yield from api.dev_alloc_within(
+            self._buffer_bytes, self.platform.recovery.degraded_alloc_wait
+        )
         try:
             if payload.is_compressed:
-                # Same engine, decompression microprogram (the paper's
-                # engines are symmetric for LZ4).
-                engine = self.device.instance(port_index).engine
-                payload = yield engine.run(d_buf, payload.size, d_out, operation=lz4_decompress_op)
+                if d_out is None:
+                    # No HBM for the decompressed output: software path.
+                    self.reads_degraded.add()
+                    yield self.memory.read(payload.size)
+                    payload = decompress_payload(payload)
+                else:
+                    # Same engine, decompression microprogram (the paper's
+                    # engines are symmetric for LZ4).
+                    engine = self.device.instance(port_index).engine
+                    payload = yield engine.run(
+                        d_buf, payload.size, d_out, operation=lz4_decompress_op
+                    )
             response = message.reply("read_reply", status="ok")
             response.payload = payload
             yield qp.send(response)
             self.requests_completed.add()
         finally:
             reply_matcher.release(d_buf)
-            api.dev_free(d_out)
+            if d_out is not None:
+                api.dev_free(d_out)
 
 
 class _SplitReplyMatcher:
@@ -299,14 +420,28 @@ class _SplitReplyMatcher:
 
     def _post(self) -> None:
         api = self.tier.api
+        d_buf = api.dev_try_alloc(self.tier._buffer_bytes)
+        if d_buf is None:
+            # Window slot lost to memory pressure: degrade this QP to
+            # host-path ingress and restore the slot once HBM drains.
+            instance = api._instance_of(self.qp)
+            instance.split.mark_starved(self.qp)
+            self.sim.process(
+                self._deferred_post(instance), name="split-reply-repost", daemon=True
+            )
+            return
         h_buf = api.host_alloc(self.tier.platform.workload.header_size)
-        d_buf = api.dev_alloc(self.tier._buffer_bytes)
         completion = api.dev_mixed_recv(
             self.qp, h_buf, h_buf.size, d_buf, self.tier._buffer_bytes
         )
         self.sim.process(
             self._on_complete(completion, d_buf), name="split-reply-matcher", daemon=True
         )
+
+    def _deferred_post(self, instance: typing.Any) -> typing.Generator:
+        yield self.tier.device.allocator.headroom_event(self.tier._buffer_bytes)
+        instance.split.clear_starved(self.qp)
+        self._post()
 
     def _on_complete(self, completion: typing.Any, d_buf: typing.Any) -> typing.Generator:
         yield from self.tier.api.poll(completion)

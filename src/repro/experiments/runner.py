@@ -17,6 +17,7 @@ import typing
 from repro.experiments import (
     ablations,
     ext_bluefield3,
+    ext_chaos,
     ext_load_latency,
     ext_maintenance,
     ext_multitenancy,
@@ -35,6 +36,7 @@ from repro.experiments import (
 EXPERIMENTS: dict[str, typing.Any] = {
     "ablations": ablations,
     "ext-bf3": ext_bluefield3,
+    "ext_chaos": ext_chaos,
     "ext-load": ext_load_latency,
     "ext-maint": ext_maintenance,
     "ext-tenants": ext_multitenancy,

@@ -28,6 +28,7 @@ from repro.middletier.maintenance import (
 )
 from repro.middletier.mapping import AddressMapper
 from repro.middletier.naive_fpga import NaiveFpgaMiddleTier
+from repro.middletier.retry import RetryPolicy
 from repro.middletier.soc_smartnic import BlueField2MiddleTier
 
 __all__ = [
@@ -41,6 +42,7 @@ __all__ = [
     "NaiveFpgaMiddleTier",
     "ResponseMatcher",
     "RetainedWrite",
+    "RetryPolicy",
     "SnapshotService",
     "Testbed",
 ]

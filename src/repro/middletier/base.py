@@ -20,8 +20,10 @@ from __future__ import annotations
 import abc
 import dataclasses
 import typing
+from collections import OrderedDict, deque
 
 from repro.middletier.cluster import Testbed
+from repro.middletier.retry import RetryPolicy
 from repro.net.message import Message, Payload, decompress_payload
 from repro.net.roce import QueuePair, RoceEndpoint
 from repro.params import PlatformSpec
@@ -36,26 +38,48 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 
 class ResponseMatcher:
-    """Routes reply messages on a QP to whoever awaits them by request id."""
+    """Routes reply messages on a QP to whoever awaits them by request id.
+
+    Replies nobody awaits come in two flavours. A reply to a request id
+    that was :meth:`forget`-ten is an *expected* late arrival (the
+    sender raced a fail-over time-out) — counted in :attr:`late_replies`
+    and dropped. Anything else is genuinely unexpected and lands in the
+    bounded :attr:`unmatched` ring for post-mortem inspection; the ring
+    drops its oldest entry rather than growing without bound across a
+    long lossy run.
+    """
+
+    #: Unexpected replies kept for inspection; beyond this, oldest drop.
+    UNMATCHED_LIMIT = 64
+    #: Forgotten request ids remembered so their late replies are counted
+    #: as expected; beyond this, oldest forgets are themselves forgotten.
+    FORGOTTEN_LIMIT = 1024
 
     def __init__(self, sim: "Simulator", qp: QueuePair) -> None:
         self.sim = sim
         self.qp = qp
         self._waiting: dict[int, Event] = {}
-        self.unmatched = Store(sim, name="unmatched-replies")
+        self.unmatched: deque[Message] = deque(maxlen=self.UNMATCHED_LIMIT)
+        self.late_replies = Counter("late-replies")
+        self.unexpected_replies = Counter("unexpected-replies")
+        self._forgotten: OrderedDict[int, None] = OrderedDict()
         sim.process(self._loop(), name="response-matcher", daemon=True)
 
     def expect(self, request_id: int) -> Event:
         """Event that fires with the reply to `request_id`."""
         if request_id in self._waiting:
             raise ValueError(f"already expecting a reply to request {request_id}")
+        self._forgotten.pop(request_id, None)
         event = self.sim.event(name=f"reply:{request_id}")
         self._waiting[request_id] = event
         return event
 
     def forget(self, request_id: int) -> None:
-        """Stop waiting for a reply (time-out path); late replies are dropped."""
-        self._waiting.pop(request_id, None)
+        """Stop waiting for a reply (time-out path); a late reply is expected."""
+        if self._waiting.pop(request_id, None) is not None:
+            self._forgotten[request_id] = None
+            while len(self._forgotten) > self.FORGOTTEN_LIMIT:
+                self._forgotten.popitem(last=False)
 
     def _loop(self) -> typing.Generator:
         while True:
@@ -64,8 +88,12 @@ class ResponseMatcher:
             event = self._waiting.pop(request_id, None) if request_id is not None else None
             if event is not None:
                 event.succeed(message)
+            elif request_id is not None and request_id in self._forgotten:
+                del self._forgotten[request_id]
+                self.late_replies.add()
             else:
-                self.unmatched.put(message)
+                self.unexpected_replies.add()
+                self.unmatched.append(message)
 
 
 @dataclasses.dataclass
@@ -94,6 +122,8 @@ class MiddleTierServer(abc.ABC):
         n_workers: int,
         address: str = "tier0",
         replica_timeout: float = msec(5),
+        write_retry: RetryPolicy | None = None,
+        read_retry: RetryPolicy | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"need at least one worker, got {n_workers}")
@@ -103,9 +133,19 @@ class MiddleTierServer(abc.ABC):
         self.n_workers = n_workers
         self.address = address
         self.replica_timeout = replica_timeout
+        recovery = self.platform.recovery
+        self.write_retry = write_retry or RetryPolicy.for_writes(
+            recovery, attempt_timeout=replica_timeout
+        )
+        self.read_retry = read_retry or RetryPolicy.for_reads(recovery)
+        #: Set by :meth:`repro.middletier.maintenance.HeartbeatMonitor.watch`;
+        #: replica selection skips servers it suspects.
+        self.health: typing.Any = None
         self.requests_completed = Counter(f"{address}.completed")
         self.payload_bytes_served = Counter(f"{address}.payload-bytes")
         self.failovers = Counter(f"{address}.failovers")
+        self.read_failovers = Counter(f"{address}.read-failovers")
+        self.reads_unavailable = Counter(f"{address}.reads-unavailable")
         self._requests: Store = Store(sim, name=f"{address}.requests")
         self._storage_links: dict[str, tuple[QueuePair, ResponseMatcher]] = {}
         self._block_locations: dict[tuple[int, int], tuple[str, ...]] = {}
@@ -241,7 +281,16 @@ class MiddleTierServer(abc.ABC):
         `exclude` holds the other replicas' targets so a replacement is
         never a server that already stores this block. Returns
         ``(address, location)`` of the acknowledged copy.
+
+        Accounting contract: the caller holds one replication-policy
+        claim on `server` (from ``choose()`` or ``claim()``); each
+        fail-over claims its replacement via :meth:`_choose_replacement`.
+        Every claim is released by exactly one ``complete()`` — in a
+        ``finally`` so even an error path (e.g. no replacement left)
+        cannot leave ``policy.outstanding`` stale.
         """
+        policy = self.write_retry
+        token = self._retry_token(message)
         attempts = 0
         excluded: set[str] = set(exclude)
         excluded.discard(server.address)
@@ -260,20 +309,29 @@ class MiddleTierServer(abc.ABC):
                 },
             )
             ack_event = matcher.expect(store_msg.request_id)
-            yield qp.send(store_msg)
-            deadline = self.sim.timeout(self.replica_timeout)
-            yield AnyOf(self.sim, [ack_event, deadline])
-            self.testbed.policy.complete(server)
+            try:
+                yield qp.send(store_msg)
+                deadline = self.sim.timeout(policy.timeout_for(attempts))
+                yield AnyOf(self.sim, [ack_event, deadline])
+            finally:
+                self.testbed.policy.complete(server)
+                if not ack_event.triggered:
+                    # Expected late arrival, not a leak (§2.2.3 time-out).
+                    matcher.forget(store_msg.request_id)
             if ack_event.triggered:
                 ack: Message = ack_event.value
                 return (server.address, ack.header.get("location", -1))
             # Timed out: pick a replacement and retry (§2.2.3 fail-over).
-            matcher.forget(store_msg.request_id)
             self.failovers.add()
             excluded.add(server.address)
-            if attempts > len(self.testbed.storage_servers):
+            if policy.attempts_exhausted(attempts) or attempts > len(
+                self.testbed.storage_servers
+            ):
                 raise RuntimeError(f"write to {store_msg.header} failed on every server")
             server = self._choose_replacement(excluded)
+            backoff = policy.backoff_before(attempts + 1, token)
+            if backoff > 0:
+                yield self.sim.timeout(backoff)
 
     def _storage_link_for(
         self, server: "StorageServer", message: Message
@@ -285,12 +343,31 @@ class MiddleTierServer(abc.ABC):
         """
         return self._storage_links[server.address]
 
+    @staticmethod
+    def _retry_token(message: Message) -> int:
+        """Replay-stable jitter token: a function of the block address.
+
+        Request ids come from a process-global counter, so they are not
+        stable across two runs in one process — the block address is.
+        """
+        return (
+            int(message.header.get("chunk_id", 0)) * 1_000_003
+            + int(message.header.get("block_id", 0))
+        )
+
+    def _suspected(self, address: str) -> bool:
+        """Whether the health monitor (if any) suspects `address` is down."""
+        return self.health is not None and not self.health.is_healthy(address)
+
     def _choose_replacement(self, excluded: set[str]) -> "StorageServer":
-        candidates = [
+        alive = [
             s
             for s in self.testbed.storage_servers
             if s.address not in excluded and not s.failed
         ]
+        # Prefer servers the heartbeat monitor considers healthy; fall
+        # back to suspected-but-not-failed ones rather than giving up.
+        candidates = [s for s in alive if not self._suspected(s.address)] or alive
         if not candidates:
             raise RuntimeError("no healthy storage server left for fail-over")
         chosen = min(candidates, key=lambda s: self.testbed.policy.outstanding(s))
@@ -310,26 +387,74 @@ class MiddleTierServer(abc.ABC):
         yield self.sim.timeout(self.platform.host.parse_header_time)
         self.sim.process(self._fetch_and_reply(worker_index, qp, message))
 
+    def _read_replica_for(
+        self, locations: typing.Sequence[str], attempt: int
+    ) -> str | None:
+        """Replica address for 0-based fail-over `attempt`, or ``None``.
+
+        Rotates through the block's replica set, skipping servers the
+        heartbeat monitor suspects; ``None`` means every replica is
+        currently suspected and the read should degrade to
+        ``unavailable`` instead of probing dead servers.
+        """
+        pool = [address for address in locations if not self._suspected(address)]
+        if not pool:
+            return None
+        return pool[attempt % len(pool)]
+
     def _fetch_and_reply(
         self, worker_index: int, qp: QueuePair, message: Message
     ) -> typing.Generator:
+        """Fetch a replica with time-out driven fail-over, then reply.
+
+        Never blocks forever: each fetch races a per-attempt time-out
+        (the matcher forgets expired requests), fail-over rotates
+        through the whole replica set, and once the policy's attempt
+        budget or deadline runs out the VM gets ``status="unavailable"``
+        instead of silence.
+        """
         key = (message.header.get("chunk_id", 0), message.header.get("block_id", 0))
         locations = self._block_locations.get(key)
         if not locations:
             yield qp.send(message.reply("read_reply", status="not_found"))
             return
-        server = self.testbed.server(locations[0])
-        storage_qp, matcher = self._storage_link_for(server, message)
-        fetch = Message(
-            kind="storage_read",
-            src=self.address,
-            dst=server.address,
-            header_size=message.header_size,
-            header={"chunk_id": key[0], "block_id": key[1]},
-        )
-        reply_event = matcher.expect(fetch.request_id)
-        yield storage_qp.send(fetch)
-        stored: Message = yield reply_event
+        policy = self.read_retry
+        token = self._retry_token(message)
+        start = self.sim.now
+        attempts = 0
+        stored: Message | None = None
+        while stored is None:
+            address = self._read_replica_for(locations, attempts)
+            if (
+                address is None
+                or policy.attempts_exhausted(attempts)
+                or policy.deadline_expired(self.sim.now - start)
+            ):
+                self.reads_unavailable.add()
+                yield qp.send(message.reply("read_reply", status="unavailable"))
+                return
+            attempts += 1
+            backoff = policy.backoff_before(attempts, token)
+            if backoff > 0:
+                yield self.sim.timeout(backoff)
+            server = self.testbed.server(address)
+            storage_qp, matcher = self._storage_link_for(server, message)
+            fetch = Message(
+                kind="storage_read",
+                src=self.address,
+                dst=server.address,
+                header_size=message.header_size,
+                header={"chunk_id": key[0], "block_id": key[1]},
+            )
+            reply_event = matcher.expect(fetch.request_id)
+            yield storage_qp.send(fetch)
+            deadline = self.sim.timeout(policy.timeout_for(attempts, self.sim.now - start))
+            yield AnyOf(self.sim, [reply_event, deadline])
+            if reply_event.triggered:
+                stored = reply_event.value
+            else:
+                matcher.forget(fetch.request_id)
+                self.read_failovers.add()
         if stored.kind != "storage_read_reply" or stored.payload is None:
             yield qp.send(message.reply("read_reply", status="not_found"))
             return

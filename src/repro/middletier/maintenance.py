@@ -196,7 +196,15 @@ class SnapshotService:
 
 
 class HeartbeatMonitor:
-    """Detects dead storage servers and re-replicates what they held."""
+    """Detects dead storage servers and re-replicates what they held.
+
+    The monitor registers itself as the tier's health oracle
+    (``tier.health``): replica selection on both the write fail-over
+    path and the read fail-over rotation consults :meth:`is_healthy`
+    to skip suspected servers. Suspected servers keep being probed, so
+    a server that comes back (e.g. a transient partition) is
+    un-suspected and returns to the selection pool.
+    """
 
     def __init__(
         self,
@@ -211,22 +219,31 @@ class HeartbeatMonitor:
         self.timeout = timeout
         self.suspected: set[str] = set()
         self.failures_detected = Counter("failures-detected")
+        self.recoveries_detected = Counter("recoveries-detected")
         self.blocks_re_replicated = Counter("blocks-re-replicated")
         self._running = True
+        tier.health = self
         sim.process(self._loop(), name="heartbeat-monitor", daemon=True)
 
     def stop(self) -> None:
         """Stop after the current round."""
         self._running = False
 
+    def is_healthy(self, address: str) -> bool:
+        """Whether `address` is currently believed alive."""
+        return address not in self.suspected
+
     def _loop(self) -> typing.Generator:
         while self._running:
             yield self.sim.timeout(self.interval)
             for server in self.tier.testbed.storage_servers:
-                if server.address in self.suspected:
-                    continue
                 alive = yield self.sim.process(self._ping(server))
-                if not alive:
+                if server.address in self.suspected:
+                    if alive:
+                        # The server came back: return it to the pool.
+                        self.suspected.discard(server.address)
+                        self.recoveries_detected.add()
+                elif not alive:
                     self.suspected.add(server.address)
                     self.failures_detected.add()
                     yield self.sim.process(self._re_replicate(server.address))

@@ -124,6 +124,40 @@ class StorageSpec:
 
 
 @dataclasses.dataclass(frozen=True)
+class RecoverySpec:
+    """Failure-recovery policy defaults (§2.2.3 time-out driven fail-over).
+
+    The write policy has no overall deadline — an acked write must land
+    on its replica set, so durability beats latency — while reads trade
+    a bounded deadline for an ``unavailable`` reply. The HBM watermarks
+    drive graceful degradation of the SmartDS tier: above the high
+    watermark new device-memory admissions are refused and requests fall
+    back to host-path (no-split) handling; waiters resume once usage
+    drains below the low watermark.
+    """
+
+    write_max_attempts: int = 8
+    write_attempt_timeout: float = usec(5000)  # = the historical replica_timeout
+    read_max_attempts: int = 5
+    read_attempt_timeout: float = usec(2000)
+    read_deadline: float = usec(20000)
+    backoff_base: float = usec(50)
+    backoff_multiplier: float = 2.0
+    backoff_cap: float = usec(1000)
+    backoff_jitter: float = 0.25
+    hbm_high_watermark: float = 0.92  # admission gate, fraction of capacity
+    hbm_low_watermark: float = 0.80  # waiters resume below this fraction
+    degraded_alloc_wait: float = usec(200)  # bounded wait before host-path fallback
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.hbm_low_watermark <= self.hbm_high_watermark <= 1.0:
+            raise ValueError(
+                "watermarks must satisfy 0 < low <= high <= 1, got "
+                f"low={self.hbm_low_watermark!r} high={self.hbm_high_watermark!r}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
 class WorkloadSpec:
     """The paper's I/O shape."""
 
@@ -143,6 +177,7 @@ class PlatformSpec:
     bluefield3: BlueField3Spec = dataclasses.field(default_factory=BlueField3Spec)
     storage: StorageSpec = dataclasses.field(default_factory=StorageSpec)
     workload: WorkloadSpec = dataclasses.field(default_factory=WorkloadSpec)
+    recovery: RecoverySpec = dataclasses.field(default_factory=RecoverySpec)
 
 
 #: The default platform used by all experiments.

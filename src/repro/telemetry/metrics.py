@@ -29,6 +29,44 @@ class Counter:
         return f"<Counter {self.name!r}={self.value}>"
 
 
+class Gauge:
+    """A named level that moves both ways, tracking its peak.
+
+    Used for occupancy-style signals (device-memory bytes in use, queue
+    depth) where a :class:`Counter`'s monotonicity is wrong.
+    """
+
+    def __init__(self, name: str = "gauge") -> None:
+        self.name = name
+        self.value = 0
+        self.peak = 0
+
+    def set(self, value: int | float) -> None:
+        """Move the gauge to an absolute level."""
+        if value < 0:
+            raise ValueError(f"gauge {self.name!r} cannot go negative (value={value})")
+        self.value = value
+        self.peak = max(self.peak, value)
+
+    def add(self, delta: int | float) -> None:
+        """Move the gauge by a (possibly negative) delta."""
+        self.set(self.value + delta)
+
+    def __repr__(self) -> str:
+        return f"<Gauge {self.name!r}={self.value} peak={self.peak}>"
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """`numerator / denominator`, defined as 0.0 on an empty denominator.
+
+    Experiments use this for availability / degradation fractions where
+    a zero-request cell should read as 0 rather than raise.
+    """
+    if denominator == 0:
+        return 0.0
+    return numerator / denominator
+
+
 class LatencyRecorder:
     """Collects latency samples and reports avg / percentile statistics."""
 

@@ -1,0 +1,409 @@
+"""End-to-end failure recovery: retry policies, read fail-over, and
+graceful degradation under device-memory pressure.
+
+The chaos-flavoured tests honour ``REPRO_FAULT_SEED`` so CI can replay
+them across a small matrix of fault seeds; every schedule here is
+deterministic given that seed (see ``docs/robustness.md``).
+"""
+
+import math
+import os
+import random
+
+import pytest
+
+from repro.core import SmartDsMiddleTier
+from repro.core.device import DeviceMemoryAllocator
+from repro.middletier import (
+    CpuOnlyMiddleTier,
+    HeartbeatMonitor,
+    ResponseMatcher,
+    RetryPolicy,
+    Testbed,
+)
+from repro.net import Message, NetworkPort, RoceEndpoint
+from repro.params import NetworkSpec, RecoverySpec
+from repro.sim import Simulator
+from repro.units import gbps, kib, msec, usec
+from repro.workloads import ClientDriver, WriteRequestFactory
+
+FAULT_SEED = int(os.environ.get("REPRO_FAULT_SEED", "11"))
+
+
+class TestRetryPolicy:
+    def test_attempt_one_never_waits(self):
+        assert RetryPolicy().backoff_before(1, token=123) == 0.0
+
+    def test_backoff_grows_exponentially_to_the_cap(self):
+        policy = RetryPolicy(
+            backoff_base=usec(50), backoff_multiplier=2.0, backoff_cap=usec(300), jitter=0.0
+        )
+        assert policy.backoff_before(2) == pytest.approx(usec(50))
+        assert policy.backoff_before(3) == pytest.approx(usec(100))
+        assert policy.backoff_before(4) == pytest.approx(usec(200))
+        assert policy.backoff_before(5) == pytest.approx(usec(300))
+        assert policy.backoff_before(9) == pytest.approx(usec(300))
+
+    def test_jitter_is_deterministic_per_seed_token_attempt(self):
+        policy = RetryPolicy(seed=7)
+        a = policy.backoff_before(3, token=42)
+        assert a == policy.backoff_before(3, token=42)
+        assert a != policy.backoff_before(3, token=43)
+        assert a != policy.backoff_before(4, token=42)
+        assert a != RetryPolicy(seed=8).backoff_before(3, token=42)
+
+    def test_jitter_stays_within_the_band(self):
+        policy = RetryPolicy(backoff_base=usec(100), backoff_cap=usec(100), jitter=0.25)
+        for token in range(50):
+            value = policy.backoff_before(2, token=token)
+            assert usec(75) <= value <= usec(125)
+
+    def test_timeout_clipped_by_deadline(self):
+        policy = RetryPolicy(attempt_timeout=usec(80), deadline=usec(100))
+        assert policy.timeout_for(1) == pytest.approx(usec(80))
+        assert policy.timeout_for(2, elapsed=usec(50)) == pytest.approx(usec(50))
+        assert policy.deadline_expired(usec(100))
+        assert not policy.deadline_expired(usec(99))
+
+    def test_attempt_budget(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert not policy.attempts_exhausted(2)
+        assert policy.attempts_exhausted(3)
+
+    def test_factories_split_deadline_semantics(self):
+        spec = RecoverySpec()
+        writes = RetryPolicy.for_writes(spec)
+        reads = RetryPolicy.for_reads(spec)
+        assert math.isinf(writes.deadline)  # durability beats latency
+        assert reads.deadline == spec.read_deadline
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(attempt_timeout=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ValueError):
+            RecoverySpec(hbm_high_watermark=0.5, hbm_low_watermark=0.9)
+
+
+def _linked_pair(sim):
+    spec = NetworkSpec()
+    a = RoceEndpoint(sim, NetworkPort(sim, gbps(100), "a.port"), "a", spec=spec)
+    b = RoceEndpoint(sim, NetworkPort(sim, gbps(100), "b.port"), "b", spec=spec)
+    return a.connect(b)
+
+
+def _reply(request_id):
+    return Message("storage_write_reply", "b", "a", header={"in_reply_to": request_id})
+
+
+class TestResponseMatcher:
+    def test_unmatched_ring_stays_bounded(self):
+        sim = Simulator()
+        qp = _linked_pair(sim)
+        matcher = ResponseMatcher(sim, qp)
+        n = ResponseMatcher.UNMATCHED_LIMIT + 36
+
+        def flood():
+            for i in range(n):
+                yield qp.peer.send(_reply(10_000 + i))
+
+        sim.process(flood())
+        sim.run()
+        assert matcher.unexpected_replies.value == n
+        assert len(matcher.unmatched) == ResponseMatcher.UNMATCHED_LIMIT
+        # The ring keeps the newest replies and dropped the oldest.
+        assert matcher.unmatched[-1].header["in_reply_to"] == 10_000 + n - 1
+        assert matcher.unmatched[0].header["in_reply_to"] == 10_036
+
+    def test_forgotten_reply_counts_as_late_not_unexpected(self):
+        sim = Simulator()
+        qp = _linked_pair(sim)
+        matcher = ResponseMatcher(sim, qp)
+        event = matcher.expect(7)
+        matcher.forget(7)
+
+        def late():
+            yield qp.peer.send(_reply(7))
+
+        sim.process(late())
+        sim.run()
+        assert matcher.late_replies.value == 1
+        assert matcher.unexpected_replies.value == 0
+        assert len(matcher.unmatched) == 0
+        assert not event.triggered
+
+    def test_forget_without_expect_is_a_noop(self):
+        sim = Simulator()
+        qp = _linked_pair(sim)
+        matcher = ResponseMatcher(sim, qp)
+        matcher.forget(99)  # never expected: must not whitelist id 99
+
+        def send():
+            yield qp.peer.send(_reply(99))
+
+        sim.process(send())
+        sim.run()
+        assert matcher.late_replies.value == 0
+        assert matcher.unexpected_replies.value == 1
+
+    def test_double_expect_rejected(self):
+        sim = Simulator()
+        qp = _linked_pair(sim)
+        matcher = ResponseMatcher(sim, qp)
+        matcher.expect(1)
+        with pytest.raises(ValueError):
+            matcher.expect(1)
+
+
+def _write_then_locate(sim, tier, testbed, n_writes=8, concurrency=4, seed=1):
+    """Run a short write phase; return (driver, replica addresses of LBA 0)."""
+    driver = ClientDriver(
+        sim,
+        tier,
+        WriteRequestFactory(testbed.platform, seed=seed),
+        concurrency=concurrency,
+        warmup_fraction=0.0,
+    )
+    sim.run(until=driver.run(n_writes))
+    return driver, tier._block_locations[(0, 0)]
+
+
+class TestReadFailover:
+    @pytest.mark.parametrize("tier_factory", [
+        lambda sim, testbed: CpuOnlyMiddleTier(sim, testbed, n_workers=2),
+        lambda sim, testbed: SmartDsMiddleTier(sim, testbed, n_ports=1),
+    ], ids=["cpu-only", "smartds"])
+    def test_read_survives_primary_replica_failure(self, tier_factory):
+        sim = Simulator()
+        testbed = Testbed(sim, n_storage_servers=5)
+        tier = tier_factory(sim, testbed)
+        driver, locations = _write_then_locate(sim, tier, testbed)
+        testbed.server(locations[0]).fail()  # the replica attempt 1 targets
+
+        result = sim.run(until=driver.run_reads([0], concurrency=1))
+        assert result.requests == 1
+        assert result.payload_bytes == testbed.platform.workload.block_size
+        assert tier.read_failovers.value >= 1
+        assert tier.reads_unavailable.value == 0
+        sim.run()  # full drain: the conftest audit proves nothing stranded
+
+    @pytest.mark.parametrize("tier_factory", [
+        lambda sim, testbed: CpuOnlyMiddleTier(sim, testbed, n_workers=2),
+        lambda sim, testbed: SmartDsMiddleTier(sim, testbed, n_ports=1),
+    ], ids=["cpu-only", "smartds"])
+    def test_read_with_all_replicas_down_degrades_to_unavailable(self, tier_factory):
+        sim = Simulator()
+        testbed = Testbed(sim, n_storage_servers=5)
+        tier = tier_factory(sim, testbed)
+        driver, locations = _write_then_locate(sim, tier, testbed)
+        for address in locations:
+            testbed.server(address).fail()
+
+        start = sim.now
+        result = sim.run(until=driver.run_reads([0], concurrency=1))
+        assert result.requests == 1  # the VM got an answer, not silence
+        assert result.payload_bytes == 0
+        assert tier.reads_unavailable.value == 1
+        assert sim.now - start <= tier.read_retry.deadline + msec(1)
+        sim.run()  # no stranded _fetch_and_reply process may survive this
+
+    def test_suspected_replicas_short_circuit_to_unavailable(self):
+        sim = Simulator()
+        testbed = Testbed(sim, n_storage_servers=5)
+        tier = CpuOnlyMiddleTier(sim, testbed, n_workers=2)
+        monitor = HeartbeatMonitor(sim, tier, interval=msec(1), timeout=msec(1))
+        driver, locations = _write_then_locate(sim, tier, testbed)
+        for address in locations:
+            testbed.server(address).fail()
+        sim.run(until=sim.now + msec(5))  # heartbeats suspect all three
+        assert all(address in monitor.suspected for address in locations)
+
+        result = sim.run(until=driver.run_reads([0], concurrency=1))
+        assert result.payload_bytes == 0
+        assert tier.reads_unavailable.value == 1
+        # Every replica suspected: the read gave up without probing them.
+        assert tier.read_failovers.value == 0
+        monitor.stop()
+
+    def test_heartbeat_monitor_detects_recovery(self):
+        sim = Simulator()
+        testbed = Testbed(sim, n_storage_servers=5)
+        tier = CpuOnlyMiddleTier(sim, testbed, n_workers=2)
+        monitor = HeartbeatMonitor(sim, tier, interval=msec(1), timeout=msec(1))
+        tier.start()
+        victim = testbed.storage_servers[2]
+        victim.fail()
+        sim.run(until=sim.now + msec(5))
+        assert victim.address in monitor.suspected
+        assert not tier.health.is_healthy(victim.address)
+
+        victim.recover()
+        sim.run(until=sim.now + msec(5))
+        assert victim.address not in monitor.suspected
+        assert monitor.recoveries_detected.value >= 1
+        assert tier.health.is_healthy(victim.address)
+        monitor.stop()
+
+
+class TestClaimCompleteBalance:
+    def test_outstanding_drops_to_zero_after_chaotic_run(self):
+        """Fail-over timeouts must not leak replication-policy claims."""
+        rng = random.Random(FAULT_SEED)
+        sim = Simulator()
+        testbed = Testbed(sim, n_storage_servers=5)
+        tier = CpuOnlyMiddleTier(sim, testbed, n_workers=4, replica_timeout=msec(1))
+        driver = ClientDriver(
+            sim,
+            tier,
+            WriteRequestFactory(testbed.platform, seed=FAULT_SEED),
+            concurrency=8,
+            warmup_fraction=0.0,
+        )
+
+        def chaos():
+            for _ in range(2):
+                yield sim.timeout(msec(rng.uniform(0.1, 0.4)))
+                victim = rng.choice([s for s in testbed.storage_servers if not s.failed])
+                victim.fail()
+                yield sim.timeout(msec(rng.uniform(1.5, 2.5)))
+                victim.recover()
+
+        sim.process(chaos())
+        result = sim.run(until=driver.run(160))
+        sim.run()  # drain every in-flight retry, late ack, and timer
+        assert result.requests == 160
+        assert tier.failovers.value > 0  # the fail-over path actually ran
+        for server in testbed.storage_servers:
+            assert testbed.policy.outstanding(server) == 0, server.address
+
+
+class TestAllocatorDegradation:
+    def test_double_free_raises(self):
+        allocator = DeviceMemoryAllocator(kib(64))
+        buffer = allocator.alloc(1024)
+        allocator.free(buffer)
+        assert allocator.occupancy.value == 0
+        with pytest.raises(ValueError, match="double free"):
+            allocator.free(buffer)
+        assert allocator.occupancy.value == 0  # accounting unharmed
+
+    def test_try_alloc_respects_admission_watermark(self):
+        allocator = DeviceMemoryAllocator(10_000, high_watermark=0.9, low_watermark=0.5)
+        first = allocator.try_alloc(9_000)
+        assert first is not None
+        assert allocator.try_alloc(1) is None  # above the admission limit
+        # The hard path still works up to physical capacity...
+        extra = allocator.alloc(1_000)
+        with pytest.raises(MemoryError):
+            allocator.alloc(1)
+        allocator.free(extra)
+        allocator.free(first)
+
+    def test_alloc_within_waits_for_headroom(self):
+        sim = Simulator()
+        allocator = DeviceMemoryAllocator(
+            10_000, sim=sim, high_watermark=0.9, low_watermark=0.5
+        )
+        hog = allocator.alloc(9_000)
+
+        def release():
+            yield sim.timeout(usec(10))
+            allocator.free(hog)
+
+        sim.process(release())
+        got = sim.run(until=sim.process(allocator.alloc_within(2_000, max_wait=usec(100))))
+        assert got is not None and got.size == 2_000
+        assert allocator.alloc_deferred.value == 1
+        assert allocator.alloc_rejected.value == 0
+        allocator.free(got)
+        sim.run()
+
+    def test_alloc_within_gives_up_at_the_deadline(self):
+        sim = Simulator()
+        allocator = DeviceMemoryAllocator(
+            10_000, sim=sim, high_watermark=0.9, low_watermark=0.5
+        )
+        allocator.alloc(9_000)  # never freed: no headroom will appear
+        got = sim.run(until=sim.process(allocator.alloc_within(2_000, max_wait=usec(50))))
+        assert got is None
+        assert allocator.alloc_rejected.value == 1
+        sim.run()
+
+
+def _hbm_burst(hbm_capacity, n_writes=64, recv_window=32, concurrency=8, seed=5):
+    """A SmartDS write burst against a shrunk HBM; returns (tier, result)."""
+    sim = Simulator()
+    testbed = Testbed(sim, n_storage_servers=5)
+    tier = SmartDsMiddleTier(
+        sim, testbed, n_ports=1, recv_window=recv_window, hbm_capacity=hbm_capacity
+    )
+    driver = ClientDriver(
+        sim,
+        tier,
+        WriteRequestFactory(testbed.platform, seed=seed),
+        concurrency=concurrency,
+        warmup_fraction=0.0,
+    )
+    result = sim.run(until=driver.run(n_writes))
+    sim.run()
+    return tier, result
+
+
+class TestGracefulDegradation:
+    def test_shrunk_hbm_degrades_instead_of_crashing(self):
+        tier, result = _hbm_burst(kib(160))
+        allocator = tier.device.allocator
+        assert result.requests == 64  # every write acked, none crashed
+        assert tier.requests_degraded.value > 0
+        assert allocator.alloc_rejected.value > 0
+        # The watermark gate held: occupancy never crossed admission.
+        assert allocator.occupancy.peak <= allocator.admission_limit
+
+    def test_degradation_counters_are_deterministic(self):
+        def signature():
+            tier, result = _hbm_burst(kib(192))
+            allocator = tier.device.allocator
+            return (
+                result.requests,
+                tier.requests_degraded.value,
+                allocator.alloc_deferred.value,
+                allocator.alloc_rejected.value,
+                tier.device.host_path_fallbacks.value,
+                allocator.occupancy.peak,
+            )
+
+        first = signature()
+        assert first[1] > 0  # the shrunk HBM actually forced degradation
+        assert first == signature()
+
+    def test_starved_window_falls_back_to_host_path_ingress(self):
+        """With a tiny window and HBM, descriptors run out entirely and
+        whole frames must ship to host memory instead of splitting."""
+        tier, result = _hbm_burst(kib(12), n_writes=24, recv_window=2, concurrency=6)
+        assert result.requests == 24
+        assert tier.device.host_path_fallbacks.value > 0
+        assert tier.requests_degraded.value > 0
+
+
+class TestChaosExperimentCell:
+    def test_acked_writes_stay_durable_under_full_chaos(self):
+        from repro.experiments.ext_chaos import measure_cell
+
+        cell = measure_cell(1.0, FAULT_SEED, n_writes=48)
+        assert cell["durability"] == pytest.approx(1.0)
+        assert cell["read_availability"] >= 0.9
+        assert cell["write_p99_us"] > 0
+
+    def test_healthy_baseline_has_no_failovers(self):
+        from repro.experiments.ext_chaos import measure_cell
+
+        cell = measure_cell(0.0, FAULT_SEED, n_writes=32)
+        assert cell["durability"] == pytest.approx(1.0)
+        assert cell["read_availability"] == pytest.approx(1.0)
+        assert cell["write_failovers"] == 0
+        assert cell["degraded_fraction"] == 0.0
