@@ -1,0 +1,13 @@
+"""Device-memory hot-block read cache (``docs/caching.md``).
+
+The middle tier keeps *compressed* payloads of hot blocks resident in
+SmartNIC HBM so skewed read traffic is answered in one hop — no backend
+round trip, no failover machinery. The cache is the lowest-priority
+HBM consumer: it admits only below the watermark gate and sheds itself
+to zero under pressure before any request is degraded to the host path.
+"""
+
+from repro.cache.hotblock import CacheEntry, HotBlockCache
+from repro.cache.sketch import FrequencySketch
+
+__all__ = ["CacheEntry", "FrequencySketch", "HotBlockCache"]

@@ -1,0 +1,72 @@
+"""TinyLFU-style frequency sketch for cache admission.
+
+A count-min sketch of 4-bit-style saturating counters estimates how
+often each block has been requested recently. The cache admits a
+candidate over an incumbent victim only when the candidate's estimate
+is higher, so a burst of one-hit-wonders cannot flush the hot set —
+the core idea of TinyLFU (Einziger et al.).
+
+Counters age: once ``sample`` touches have been recorded, every counter
+is halved, so the estimate tracks *recent* popularity rather than
+all-time totals. Keys are ints or tuples of ints, whose Python hashes
+are deterministic (hash randomisation only perturbs str/bytes), so the
+sketch replays identically across runs.
+"""
+
+from __future__ import annotations
+
+import typing
+
+#: Saturation ceiling: counters never exceed this (TinyLFU uses 4-bit
+#: counters; 15 is plenty to rank hot against cold).
+_CEILING = 15
+
+
+class FrequencySketch:
+    """Count-min sketch with saturating, periodically halved counters."""
+
+    def __init__(self, width: int = 1024, depth: int = 4, sample: int = 4096) -> None:
+        if width < 1 or depth < 1 or sample < 1:
+            raise ValueError(
+                f"sketch geometry must be positive, got width={width} depth={depth} "
+                f"sample={sample}"
+            )
+        self.width = width
+        self.depth = depth
+        self.sample = sample
+        self._rows = [[0] * width for _ in range(depth)]
+        self._touches = 0
+
+    def _index(self, row: int, key: typing.Hashable) -> int:
+        # Each row salts the key differently so one collision does not
+        # repeat across rows (the count-min independence assumption).
+        return hash((row * 0x9E3779B1 + 0x85EBCA6B, key)) % self.width
+
+    def touch(self, key: typing.Hashable) -> None:
+        """Record one access to `key` (ages the sketch when due)."""
+        for row in range(self.depth):
+            cell = self._index(row, key)
+            if self._rows[row][cell] < _CEILING:
+                self._rows[row][cell] += 1
+        self._touches += 1
+        if self._touches >= self.sample:
+            self._age()
+
+    def estimate(self, key: typing.Hashable) -> int:
+        """Estimated recent access count of `key` (an upper bound)."""
+        return min(
+            self._rows[row][self._index(row, key)] for row in range(self.depth)
+        )
+
+    def _age(self) -> None:
+        """Halve every counter so estimates decay with the workload."""
+        for row in self._rows:
+            for cell in range(self.width):
+                row[cell] >>= 1
+        self._touches = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<FrequencySketch {self.width}x{self.depth} "
+            f"touches={self._touches}/{self.sample}>"
+        )

@@ -64,6 +64,14 @@ class DeviceMemoryAllocator:
       :meth:`headroom_event` that fires once usage drains below
       ``low_watermark * capacity``.
 
+    Low-priority consumers (the hot-block read cache of
+    :mod:`repro.cache`) register *reclaimers* via
+    :meth:`register_reclaimer`: before a gated allocation is refused or
+    a waiter parks for headroom, the allocator asks the reclaimers to
+    shed bytes, so elastic consumers shrink to zero before any request
+    is degraded to the host path. Headroom waiters are woken in strict
+    FIFO order so no waiter starves behind later, smaller requests.
+
     Watermark gating and waiting need a simulator; constructing without
     one keeps the plain alloc/free behaviour for unit harnesses.
     """
@@ -91,7 +99,10 @@ class DeviceMemoryAllocator:
         self.occupancy = Gauge("hbm.occupancy")
         self.alloc_deferred = Counter("hbm.alloc-deferred")
         self.alloc_rejected = Counter("hbm.alloc-rejected")
-        self._waiters: list[tuple[int, "typing.Any"]] = []  # (size, Event)
+        self.bytes_reclaimed = Counter("hbm.bytes-reclaimed")
+        self._waiters: list[tuple[int, "typing.Any"]] = []  # (size, Event), FIFO
+        self._reclaimers: list[typing.Callable[[int], int]] = []
+        self._reclaiming = False
 
     @property
     def admission_limit(self) -> float:
@@ -107,6 +118,54 @@ class DeviceMemoryAllocator:
         """Whether a gated allocation of `size` would be refused right now."""
         return self.allocated + size > self.admission_limit
 
+    @property
+    def waiters(self) -> int:
+        """Headroom waiters currently parked (FIFO queue length)."""
+        return len(self._waiters)
+
+    def elastic_headroom(self, size: int) -> bool:
+        """Whether a *low-priority* allocation of `size` is welcome.
+
+        Stricter than the admission gate: elastic consumers stay below
+        the drain target and never allocate while headroom waiters are
+        parked — otherwise their fills would keep occupancy inside the
+        watermark band and starve the waiters they are meant to yield to.
+        """
+        return not self._waiters and self.allocated + size <= self.drain_target
+
+    # -- elastic low-priority consumers -------------------------------------
+
+    def register_reclaimer(self, reclaimer: typing.Callable[[int], int]) -> None:
+        """Register a shed callback: ``reclaimer(nbytes) -> bytes freed``.
+
+        Reclaimers are consulted (in registration order) before a gated
+        allocation is refused and before a headroom waiter parks, so an
+        elastic consumer's occupancy never turns a request away.
+        """
+        self._reclaimers.append(reclaimer)
+
+    def reclaim(self, nbytes: int) -> int:
+        """Ask the registered reclaimers to free at least `nbytes`.
+
+        Returns the bytes actually freed (possibly 0). Re-entrant calls
+        (a reclaimer freeing memory wakes a waiter that allocates) are
+        no-ops rather than infinite recursion.
+        """
+        if self._reclaiming or not self._reclaimers or nbytes <= 0:
+            return 0
+        self._reclaiming = True
+        freed = 0
+        try:
+            for reclaimer in self._reclaimers:
+                if freed >= nbytes:
+                    break
+                freed += reclaimer(nbytes - freed)
+        finally:
+            self._reclaiming = False
+        if freed:
+            self.bytes_reclaimed.add(freed)
+        return freed
+
     def alloc(self, size: int) -> DeviceBuffer:
         if size <= 0:
             raise ValueError(f"allocation size must be positive, got {size}")
@@ -119,28 +178,54 @@ class DeviceMemoryAllocator:
         self.occupancy.set(self.allocated)
         return DeviceBuffer(size=size)
 
-    def try_alloc(self, size: int) -> DeviceBuffer | None:
-        """Gated allocation: ``None`` instead of raising above the high watermark."""
+    def try_alloc(self, size: int, reclaim: bool = True) -> DeviceBuffer | None:
+        """Gated allocation: ``None`` instead of raising above the high watermark.
+
+        With `reclaim` (the default), a refusal first asks the
+        registered reclaimers to shed down to the *drain target* (not
+        merely enough to fit this request): shedding the minimum would
+        keep occupancy glued to the admission gate while elastic bytes
+        remain, starving headroom waiters that need the low watermark.
+        Elastic consumers pass ``reclaim=False`` so they never shed
+        their own entries to admit more of themselves.
+        """
         if size <= 0:
             raise ValueError(f"allocation size must be positive, got {size}")
         if self.would_reject(size):
-            return None
+            if not reclaim:
+                return None
+            self.reclaim(int(self.allocated + size - self.drain_target))
+            if self.would_reject(size):
+                return None
         return self.alloc(size)
 
     def headroom_event(self, size: int) -> "typing.Any":
         """Event firing once a gated alloc of `size` fits below the low watermark.
 
         The event may race with other waiters — re-check with
-        :meth:`try_alloc` after it fires.
+        :meth:`try_alloc` after it fires. Parking a waiter first asks
+        the reclaimers to shed down to the drain target, so elastic
+        consumers cannot keep a waiter parked.
         """
         if self.sim is None:
             raise RuntimeError("headroom waiting needs an allocator constructed with a sim")
         event = self.sim.event(name="hbm-headroom")
         if self.allocated + size <= self.drain_target:
             event.succeed()
-        else:
-            self._waiters.append((size, event))
+            return event
+        self._waiters.append((size, event))
+        # Shedding frees buffers, and each free() wakes FIFO waiters —
+        # including, possibly, the one just parked.
+        self.reclaim(int(self.allocated + size - self.drain_target))
         return event
+
+    def cancel_headroom(self, event: "typing.Any") -> None:
+        """Withdraw a headroom waiter (its bounded wait expired).
+
+        Keeps the FIFO wake-up queue free of dead entries, so a stale
+        head waiter cannot block live waiters behind it.
+        """
+        self._waiters = [(size, ev) for size, ev in self._waiters if ev is not event]
 
     def alloc_within(self, size: int, max_wait: float) -> typing.Generator:
         """Process body: gated alloc, waiting up to `max_wait` for headroom.
@@ -164,8 +249,10 @@ class DeviceMemoryAllocator:
             yield self.sim.any_of([headroom, deadline])
             buffer = self.try_alloc(size)
             if buffer is not None:
+                self.cancel_headroom(headroom)
                 return buffer
             if deadline.triggered:
+                self.cancel_headroom(headroom)
                 self.alloc_rejected.add()
                 return None
 
@@ -183,15 +270,18 @@ class DeviceMemoryAllocator:
         self._wake_waiters()
 
     def _wake_waiters(self) -> None:
-        if not self._waiters or self.allocated > self.drain_target:
+        # Strict FIFO: wake from the head and stop at the first waiter
+        # that does not fit. Skipping ahead would let a stream of small
+        # requests starve a large one parked at the front of the queue.
+        if self.allocated > self.drain_target:
             return
-        pending = []
-        for size, event in self._waiters:
-            if self.allocated + size <= self.drain_target:
+        while self._waiters:
+            size, event = self._waiters[0]
+            if self.allocated + size > self.drain_target:
+                break
+            self._waiters.pop(0)
+            if not event.triggered:
                 event.succeed()
-            else:
-                pending.append((size, event))
-        self._waiters = pending
 
 
 class RoceInstance:

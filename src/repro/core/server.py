@@ -33,6 +33,7 @@ from repro.net.roce import QueuePair, RoceEndpoint
 from repro.telemetry.metrics import Counter
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.params import CacheSpec
     from repro.sim.kernel import Simulator
     from repro.storage.server import StorageServer
 
@@ -59,6 +60,7 @@ class SmartDsMiddleTier(MiddleTierServer):
         recv_window: int = 64,
         hbm_capacity: int | None = None,
         fault_plan: typing.Any = None,
+        cache_spec: "CacheSpec | None" = None,
     ) -> None:
         if recv_window < 1:
             raise ValueError(f"recv_window must be >= 1, got {recv_window}")
@@ -67,9 +69,25 @@ class SmartDsMiddleTier(MiddleTierServer):
         self._recv_window = recv_window
         self._hbm_capacity = hbm_capacity
         self._fault_plan = fault_plan
+        self._cache_spec = cache_spec
         # The paper's provisioning rule (§5.5): two host cores per port.
         workers = n_workers if n_workers is not None else 2 * n_ports
         super().__init__(sim, testbed, workers, address=address)
+        spec = cache_spec if cache_spec is not None else self.platform.cache
+        if spec.enabled:
+            # Deferred: repro.cache imports repro.core.device, so a
+            # module-level import here would close an import cycle.
+            from repro.cache.hotblock import HotBlockCache
+
+            self.attach_cache(
+                HotBlockCache(
+                    sim,
+                    self.device.allocator,
+                    spec,
+                    hbm=self.device.hbm,
+                    name=f"{address}.cache",
+                )
+            )
         #: Writes served without AAMS/engine help (host-path ingress or
         #: no device memory for the compressed output) — the graceful-
         #: degradation signal experiments plot against fault intensity.
@@ -262,6 +280,49 @@ class SmartDsMiddleTier(MiddleTierServer):
 
     # -- the read path --------------------------------------------------------------
 
+    def _reply_from_cache(
+        self,
+        qp: QueuePair,
+        message: Message,
+        entry: typing.Any,
+        port_index: int,
+        started: float,
+    ) -> typing.Generator:
+        """Serve a hit from HBM: decompress the cached buffer on the
+        port engine and reply — one hop, no storage traffic.
+
+        The entry stays pinned across the engine yields, so a
+        concurrent invalidation or shed defers the buffer free to our
+        release instead of yanking it mid-decompress.
+        """
+        api = self.api
+        payload = entry.payload
+        d_out = None
+        try:
+            if payload.is_compressed:
+                d_out = yield from api.dev_alloc_within(
+                    self._buffer_bytes, self.platform.recovery.degraded_alloc_wait
+                )
+                if d_out is None:
+                    # No HBM for the decompressed output: software path.
+                    self.reads_degraded.add()
+                    yield self.memory.read(payload.size)
+                    payload = decompress_payload(payload)
+                else:
+                    engine = self.device.instance(port_index).engine
+                    payload = yield engine.run(
+                        entry.buffer, payload.size, d_out, operation=lz4_decompress_op
+                    )
+            response = message.reply("read_reply", status="ok")
+            response.payload = payload
+            yield qp.send(response)
+            self.requests_completed.add()
+            self.cache_hit_latency.record(self.sim.now - started)
+        finally:
+            self.cache.release(entry)
+            if d_out is not None:
+                api.dev_free(d_out)
+
     def _fetch_and_reply(
         self, worker_index: int, qp: QueuePair, message: Message
     ) -> typing.Generator:
@@ -276,12 +337,20 @@ class SmartDsMiddleTier(MiddleTierServer):
         read then completes degraded with a software decompress.
         """
         api = self.api
+        started = self.sim.now
         key = (message.header.get("chunk_id", 0), message.header.get("block_id", 0))
+        port_index = message.header.get("arrival_port", 0)
+        fill_token = None
+        if self.cache is not None:
+            entry = self.cache.lookup(key)
+            if entry is not None:
+                yield from self._reply_from_cache(qp, message, entry, port_index, started)
+                return
+            fill_token = self.cache.begin_fill(key)
         locations = self._block_locations.get(key)
         if not locations:
             yield qp.send(message.reply("read_reply", status="not_found"))
             return
-        port_index = message.header.get("arrival_port", 0)
         policy = self.read_retry
         token = self._retry_token(message)
         start = self.sim.now
@@ -346,6 +415,9 @@ class SmartDsMiddleTier(MiddleTierServer):
                 self.read_failovers.add()
 
         payload = stored.payload
+        if self.cache is not None and fill_token is not None:
+            # Admission decision on the fetched (still compressed) block.
+            self.cache.offer(key, payload, fill_token)
         if d_buf is None:
             # Host-path reply: decompress in software from host DRAM.
             self.reads_degraded.add()
@@ -356,6 +428,8 @@ class SmartDsMiddleTier(MiddleTierServer):
             response.payload = payload
             yield qp.send(response)
             self.requests_completed.add()
+            if self.cache is not None:
+                self.cache_miss_latency.record(self.sim.now - started)
             return
         d_out = yield from api.dev_alloc_within(
             self._buffer_bytes, self.platform.recovery.degraded_alloc_wait
@@ -378,6 +452,8 @@ class SmartDsMiddleTier(MiddleTierServer):
             response.payload = payload
             yield qp.send(response)
             self.requests_completed.add()
+            if self.cache is not None:
+                self.cache_miss_latency.record(self.sim.now - started)
         finally:
             reply_matcher.release(d_buf)
             if d_out is not None:

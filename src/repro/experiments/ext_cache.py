@@ -1,0 +1,274 @@
+"""Extension: hot-block read caching in SmartNIC device memory.
+
+The middle tier forwards every read to a backend storage server even
+though SmartDS keeps payloads resident in HBM. This extension measures
+what a :class:`~repro.cache.HotBlockCache` buys under skewed traffic:
+
+- **Zipf skew sweep** (s = 0 uniform, 0.8, 0.99, 1.2): hit ratio,
+  mean/P99 read latency, and backend read bytes, cache-on vs the
+  cache-off baseline — one NIC hop against a disk read + fabric RTT;
+- **cache-size sweep** at s = 0.99 over one deterministic read trace:
+  hit ratio must grow monotonically with the byte budget;
+- **HBM-pressure series**: write burst, cache-warming reads, then a
+  second write burst against a shrunk HBM. The cache is the
+  lowest-priority consumer — it sheds itself (``sheds`` counter) and
+  ``requests_degraded`` with the cache on stays <= the cache-off run at
+  every capacity.
+
+All cells are seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+from repro.core import SmartDsMiddleTier
+from repro.experiments.common import ExperimentResult
+from repro.middletier import Testbed
+from repro.params import CacheSpec, DEFAULT_PLATFORM, PlatformSpec
+from repro.sim import Simulator
+from repro.telemetry.reporting import format_table
+from repro.units import kib, to_usec
+from repro.workloads import ClientDriver, SkewedReadFactory, WriteRequestFactory
+
+#: Zipf skew sweep: 0 is uniform, 0.99 the classic YCSB hot-spot.
+SKEWS = (0.0, 0.8, 0.99, 1.2)
+#: Cache byte budgets for the size sweep (same read trace across all).
+SIZE_SWEEP = (kib(64), kib(128), kib(256), kib(512))
+#: Default cache budget for the skew sweep.
+CACHE_BYTES = kib(256)
+#: Shrunk-HBM capacities for the pressure series: comfortable (cache
+#: fills then sheds), tight (partial fill), and starved (the elastic
+#: floor is zero — the cache refuses every fill rather than contend).
+HBM_SWEEP = (kib(512), kib(448), kib(192))
+
+_SEED = 3
+
+
+def _zipf_trace(n_blocks: int, n_reads: int, skew: float, seed: int = _SEED) -> list[int]:
+    """A deterministic Zipf-sampled LBA trace (shared across cells)."""
+    factory = WriteRequestFactory(seed=seed)
+    skewed = SkewedReadFactory(factory, n_blocks, skew=skew, seed=seed)
+    return [skewed.next_lba() for _ in range(n_reads)]
+
+
+def measure_read_cell(
+    lbas: list[int],
+    n_blocks: int,
+    cache_spec: CacheSpec,
+    platform: PlatformSpec | None = None,
+    seed: int = _SEED,
+) -> dict:
+    """Write `n_blocks`, then replay the `lbas` read trace; measure."""
+    platform = platform or DEFAULT_PLATFORM
+    sim = Simulator()
+    testbed = Testbed(sim, platform, n_storage_servers=5)
+    tier = SmartDsMiddleTier(sim, testbed, n_ports=1, cache_spec=cache_spec)
+    driver = ClientDriver(
+        sim,
+        tier,
+        WriteRequestFactory(platform, seed=seed),
+        concurrency=8,
+        warmup_fraction=0.0,
+    )
+    sim.run(until=driver.run(n_blocks))
+    reads = sim.run(until=driver.run_reads(lbas, concurrency=8))
+    backend_bytes = sum(s.read_bytes_served.value for s in testbed.storage_servers)
+    summary = reads.latency.summary()
+    cell = {
+        "cache": cache_spec.enabled,
+        "reads": reads.requests,
+        "read_failures": len(reads.failures),
+        "mean_us": to_usec(summary["avg"]),
+        "p99_us": to_usec(summary["p99"]),
+        "backend_read_bytes": backend_bytes,
+        "hit_ratio": tier.cache.hit_ratio() if tier.cache is not None else 0.0,
+    }
+    if tier.cache is not None:
+        cell["cache_stats"] = tier.cache.stats()
+        hit = tier.cache_hit_latency.maybe_summary()
+        miss = tier.cache_miss_latency.maybe_summary()
+        cell["hit_mean_us"] = to_usec(hit["avg"]) if hit else None
+        cell["miss_mean_us"] = to_usec(miss["avg"]) if miss else None
+    return cell
+
+
+def measure_pressure(
+    hbm_capacity: int,
+    n_writes: int,
+    n_reads: int,
+    cache_on: bool,
+    platform: PlatformSpec | None = None,
+    seed: int = 5,
+) -> dict:
+    """Write burst, cache-warming reads, second write burst, shrunk HBM.
+
+    The second burst lands on an HBM partly occupied by the warmed
+    cache; with elastic sizing the cache sheds and the burst degrades
+    no more than it would with the cache off.
+    """
+    platform = platform or DEFAULT_PLATFORM
+    spec = CacheSpec(enabled=cache_on, capacity_fraction=0.5)
+    sim = Simulator()
+    testbed = Testbed(sim, platform, n_storage_servers=5)
+    tier = SmartDsMiddleTier(
+        sim,
+        testbed,
+        n_ports=1,
+        recv_window=32,
+        hbm_capacity=hbm_capacity,
+        cache_spec=spec,
+    )
+    driver = ClientDriver(
+        sim,
+        tier,
+        WriteRequestFactory(platform, seed=seed),
+        concurrency=8,
+        warmup_fraction=0.0,
+    )
+    sim.run(until=driver.run(n_writes))
+    lbas = _zipf_trace(n_writes, n_reads, skew=0.99, seed=seed)
+    sim.run(until=driver.run_reads(lbas, concurrency=8))
+    burst = sim.run(until=driver.run(n_writes))
+    cache = tier.cache
+    return {
+        "hbm_kib": hbm_capacity // 1024,
+        "cache": cache_on,
+        "burst_requests": burst.requests,
+        "degraded": tier.requests_degraded.value,
+        "reads_degraded": tier.reads_degraded.value,
+        "sheds": cache.sheds.value if cache is not None else 0,
+        "hit_ratio": cache.hit_ratio() if cache is not None else 0.0,
+        "bytes_reclaimed": tier.device.allocator.bytes_reclaimed.value,
+        "peak_occupancy": tier.device.allocator.occupancy.peak,
+    }
+
+
+def run(quick: bool = False, platform: PlatformSpec | None = None) -> ExperimentResult:
+    """Skew sweep, cache-size sweep, and the HBM-pressure series."""
+    platform = platform or DEFAULT_PLATFORM
+    n_blocks = 96 if quick else 192
+    n_reads = 300 if quick else 600
+    skews = (0.0, 0.99) if quick else SKEWS
+    sizes = SIZE_SWEEP[1:3] if quick else SIZE_SWEEP
+    hbm_sweep = HBM_SWEEP[:2] if quick else HBM_SWEEP
+
+    # Leg 1: skew sweep, cache-on vs cache-off on the same trace.
+    skew_cells = []
+    skew_rows = []
+    for skew in skews:
+        lbas = _zipf_trace(n_blocks, n_reads, skew)
+        on = measure_read_cell(
+            lbas, n_blocks, CacheSpec(enabled=True, capacity_bytes=CACHE_BYTES), platform
+        )
+        off = measure_read_cell(lbas, n_blocks, CacheSpec(enabled=False), platform)
+        cell = {"skew": skew, "on": on, "off": off}
+        skew_cells.append(cell)
+        skew_rows.append(
+            [
+                f"{skew:.2f}",
+                f"{on['hit_ratio']:.1%}",
+                round(on["mean_us"], 1),
+                round(off["mean_us"], 1),
+                round(on["p99_us"], 1),
+                round(off["p99_us"], 1),
+                on["backend_read_bytes"] // 1024,
+                off["backend_read_bytes"] // 1024,
+            ]
+        )
+    skew_table = format_table(
+        [
+            "zipf s",
+            "hit ratio",
+            "mean on (us)",
+            "mean off (us)",
+            "p99 on (us)",
+            "p99 off (us)",
+            "backend on (KiB)",
+            "backend off (KiB)",
+        ],
+        skew_rows,
+    )
+
+    # Leg 2: cache-size sweep at s=0.99 over one deterministic trace.
+    sweep_lbas = _zipf_trace(n_blocks, n_reads, 0.99)
+    size_cells = []
+    size_rows = []
+    for capacity in sizes:
+        cell = measure_read_cell(
+            sweep_lbas,
+            n_blocks,
+            CacheSpec(enabled=True, capacity_bytes=capacity),
+            platform,
+        )
+        cell["capacity_kib"] = capacity // 1024
+        size_cells.append(cell)
+        size_rows.append(
+            [
+                capacity // 1024,
+                f"{cell['hit_ratio']:.1%}",
+                round(cell["mean_us"], 1),
+                cell["backend_read_bytes"] // 1024,
+                cell["cache_stats"]["admissions"],
+                cell["cache_stats"]["evictions"],
+                cell["cache_stats"]["rejections"],
+            ]
+        )
+    size_table = format_table(
+        [
+            "cache (KiB)",
+            "hit ratio",
+            "mean (us)",
+            "backend (KiB)",
+            "admits",
+            "evicts",
+            "rejects",
+        ],
+        size_rows,
+    )
+
+    # Leg 3: HBM pressure — the cache must shed, never cause degradation.
+    pressure_cells = []
+    pressure_rows = []
+    n_pressure_writes = 64 if quick else 96
+    for capacity in hbm_sweep:
+        on = measure_pressure(capacity, n_pressure_writes, n_reads // 2, True, platform)
+        off = measure_pressure(capacity, n_pressure_writes, n_reads // 2, False, platform)
+        pressure_cells.append({"hbm_kib": capacity // 1024, "on": on, "off": off})
+        pressure_rows.append(
+            [
+                capacity // 1024,
+                on["degraded"],
+                off["degraded"],
+                on["sheds"],
+                f"{on['hit_ratio']:.1%}",
+                on["bytes_reclaimed"] // 1024,
+            ]
+        )
+    pressure_table = format_table(
+        [
+            "HBM (KiB)",
+            "degraded on",
+            "degraded off",
+            "sheds",
+            "hit ratio",
+            "reclaimed (KiB)",
+        ],
+        pressure_rows,
+    )
+
+    text = (
+        f"read path with the HBM hot-block cache ({CACHE_BYTES // 1024} KiB budget):\n"
+        f"{skew_table}\n\n"
+        f"cache-size sweep at zipf s=0.99 (one deterministic trace):\n{size_table}\n\n"
+        f"HBM-pressure series (cache sheds before any request degrades):\n"
+        f"{pressure_table}"
+    )
+    return ExperimentResult(
+        experiment_id="ext_cache",
+        title="Hot-block read cache in device memory (Zipf skew, elastic sizing)",
+        text=text,
+        data={
+            "skew_cells": skew_cells,
+            "size_cells": size_cells,
+            "pressure_cells": pressure_cells,
+        },
+    )

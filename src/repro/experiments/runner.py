@@ -17,6 +17,7 @@ import typing
 from repro.experiments import (
     ablations,
     ext_bluefield3,
+    ext_cache,
     ext_chaos,
     ext_load_latency,
     ext_maintenance,
@@ -36,6 +37,7 @@ from repro.experiments import (
 EXPERIMENTS: dict[str, typing.Any] = {
     "ablations": ablations,
     "ext-bf3": ext_bluefield3,
+    "ext_cache": ext_cache,
     "ext_chaos": ext_chaos,
     "ext-load": ext_load_latency,
     "ext-maint": ext_maintenance,
@@ -60,11 +62,18 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         description="Regenerate the SmartDS paper's tables and figures "
         "on the simulated testbed.",
     )
+    # No argparse `choices`: with nargs="*" pre-3.12 argparse rejects an
+    # empty selection against them, breaking the bare `--list` form.
     parser.add_argument(
         "experiments",
-        nargs="+",
-        choices=sorted(EXPERIMENTS) + ["all"],
-        help="which artifacts to regenerate",
+        nargs="*",
+        metavar="experiment",
+        help=f"which artifacts to regenerate: {', '.join(sorted(EXPERIMENTS))}, all",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print the experiment registry with one-line descriptions and exit",
     )
     parser.add_argument(
         "--chart",
@@ -82,6 +91,17 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         help="dump all selected results to FILE as JSON (for external plotting)",
     )
     args = parser.parse_args(argv)
+
+    if args.list:
+        print(list_experiments())
+        return 0
+    if not args.experiments:
+        parser.error("no experiments selected (try --list to see the registry)")
+    unknown = [name for name in args.experiments if name != "all" and name not in EXPERIMENTS]
+    if unknown:
+        parser.error(
+            f"unknown experiment(s): {', '.join(unknown)} (try --list to see the registry)"
+        )
 
     selected = sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
     results = []
@@ -101,6 +121,17 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         dump_results(results, args.json)
         print(f"[wrote {len(results)} result(s) to {args.json}]")
     return 0
+
+
+def list_experiments() -> str:
+    """The registry, one line per experiment: key + docstring headline."""
+    lines = []
+    width = max(len(name) for name in EXPERIMENTS)
+    for name in sorted(EXPERIMENTS):
+        doc = (EXPERIMENTS[name].__doc__ or "").strip().splitlines()
+        headline = doc[0].strip() if doc else "(no description)"
+        lines.append(f"  {name:<{width}}  {headline}")
+    return "available experiments:\n" + "\n".join(lines)
 
 
 def render_charts(result: typing.Any) -> str:

@@ -29,7 +29,7 @@ from repro.net.roce import QueuePair, RoceEndpoint
 from repro.params import PlatformSpec
 from repro.sim.events import AnyOf, Event
 from repro.sim.resources import Store
-from repro.telemetry.metrics import Counter
+from repro.telemetry.metrics import Counter, LatencyRecorder
 from repro.units import msec
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -143,6 +143,10 @@ class MiddleTierServer(abc.ABC):
         self.health: typing.Any = None
         self.requests_completed = Counter(f"{address}.completed")
         self.payload_bytes_served = Counter(f"{address}.payload-bytes")
+        #: Optional hot-block read cache (see :meth:`attach_cache`).
+        self.cache: typing.Any = None
+        self.cache_hit_latency = LatencyRecorder(f"{address}.cache-hit")
+        self.cache_miss_latency = LatencyRecorder(f"{address}.cache-miss")
         self.failovers = Counter(f"{address}.failovers")
         self.read_failovers = Counter(f"{address}.read-failovers")
         self.reads_unavailable = Counter(f"{address}.reads-unavailable")
@@ -191,6 +195,16 @@ class MiddleTierServer(abc.ABC):
 
     client_endpoint: RoceEndpoint
     storage_endpoint: RoceEndpoint
+
+    def attach_cache(self, cache: typing.Any) -> typing.Any:
+        """Serve hot reads from a :class:`~repro.cache.HotBlockCache`.
+
+        Hits skip the storage round trip (and its retry/failover
+        machinery) entirely; writes invalidate the key before acking so
+        reads-after-write never see stale bytes (``docs/caching.md``).
+        """
+        self.cache = cache
+        return cache
 
     def attach_client(self, client_endpoint: RoceEndpoint, port_index: int = 0) -> QueuePair:
         """Connect a VM-side endpoint; returns the client's queue pair.
@@ -260,6 +274,11 @@ class MiddleTierServer(abc.ABC):
         replicas = tuple(results[write] for write in writes)
         key = (message.header.get("chunk_id", 0), message.header.get("block_id", 0))
         self._block_locations[key] = tuple(address for address, _location in replicas)
+        # Write-through invalidation: drop the cached (pre-write) block
+        # before the VM sees the ack, so a read issued after the ack can
+        # never be served stale bytes from the cache.
+        if self.cache is not None:
+            self.cache.invalidate(key)
         if self.retain_writes:
             self._chunk_log.setdefault(key[0], []).append(
                 RetainedWrite(block_id=key[1], payload=payload, replicas=replicas)
@@ -412,8 +431,31 @@ class MiddleTierServer(abc.ABC):
         through the whole replica set, and once the policy's attempt
         budget or deadline runs out the VM gets ``status="unavailable"``
         instead of silence.
+
+        With a cache attached, a hit replies straight from device
+        memory — no storage round trip, no failover; a miss takes the
+        path below and then offers the fetched block for admission.
         """
+        started = self.sim.now
         key = (message.header.get("chunk_id", 0), message.header.get("block_id", 0))
+        fill_token = None
+        if self.cache is not None:
+            entry = self.cache.lookup(key)
+            if entry is not None:
+                try:
+                    payload = entry.payload
+                    if payload.is_compressed:
+                        yield from self._decompress_cost(worker_index, payload)
+                        payload = decompress_payload(payload)
+                finally:
+                    self.cache.release(entry)
+                response = message.reply("read_reply", status="ok")
+                response.payload = payload
+                yield qp.send(response)
+                self.requests_completed.add()
+                self.cache_hit_latency.record(self.sim.now - started)
+                return
+            fill_token = self.cache.begin_fill(key)
         locations = self._block_locations.get(key)
         if not locations:
             yield qp.send(message.reply("read_reply", status="not_found"))
@@ -459,6 +501,9 @@ class MiddleTierServer(abc.ABC):
             yield qp.send(message.reply("read_reply", status="not_found"))
             return
         payload = stored.payload
+        if self.cache is not None and fill_token is not None:
+            # Admission decision on the fetched (still compressed) block.
+            self.cache.offer(key, payload, fill_token)
         if payload.is_compressed:
             yield from self._decompress_cost(worker_index, payload)
             payload = decompress_payload(payload)
@@ -466,3 +511,5 @@ class MiddleTierServer(abc.ABC):
         response.payload = payload
         yield qp.send(response)
         self.requests_completed.add()
+        if self.cache is not None:
+            self.cache_miss_latency.record(self.sim.now - started)

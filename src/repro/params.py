@@ -158,6 +158,54 @@ class RecoverySpec:
 
 
 @dataclasses.dataclass(frozen=True)
+class CacheSpec:
+    """Device-memory hot-block read cache (``docs/caching.md``).
+
+    The cache keeps *compressed* payloads of hot blocks in SmartNIC HBM
+    so skewed read traffic is answered in one hop, without a backend
+    round trip. It is the lowest-priority HBM consumer: it admits only
+    below the watermark gate, registers as a reclaim callback with the
+    :class:`~repro.core.device.DeviceMemoryAllocator`, and sheds cold
+    segments under pressure before any request is degraded.
+    """
+
+    enabled: bool = False
+    #: Upper bound on cache occupancy as a fraction of HBM capacity.
+    capacity_fraction: float = 0.25
+    #: Absolute byte bound; overrides `capacity_fraction` when set.
+    capacity_bytes: int | None = None
+    #: Segmented LRU: fraction of the byte budget reserved for the
+    #: protected segment (re-referenced blocks); the rest is probation.
+    protected_fraction: float = 0.8
+    #: TinyLFU admission sketch geometry (counters per row x rows).
+    sketch_width: int = 1024
+    sketch_depth: int = 4
+    #: Halve all sketch counters after this many recorded accesses, so
+    #: frequency estimates age out with the workload.
+    sketch_sample: int = 4096
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.capacity_fraction <= 1.0:
+            raise ValueError(
+                f"capacity fraction must be in (0, 1], got {self.capacity_fraction!r}"
+            )
+        if self.capacity_bytes is not None and self.capacity_bytes <= 0:
+            raise ValueError(f"capacity bytes must be positive, got {self.capacity_bytes!r}")
+        if not 0.0 <= self.protected_fraction < 1.0:
+            raise ValueError(
+                f"protected fraction must be in [0, 1), got {self.protected_fraction!r}"
+            )
+        if self.sketch_width < 1 or self.sketch_depth < 1 or self.sketch_sample < 1:
+            raise ValueError("sketch geometry must be positive")
+
+    def limit_for(self, hbm_capacity: int) -> int:
+        """The cache's byte budget on a device with `hbm_capacity` HBM."""
+        if self.capacity_bytes is not None:
+            return min(self.capacity_bytes, hbm_capacity)
+        return int(self.capacity_fraction * hbm_capacity)
+
+
+@dataclasses.dataclass(frozen=True)
 class WorkloadSpec:
     """The paper's I/O shape."""
 
@@ -178,6 +226,7 @@ class PlatformSpec:
     storage: StorageSpec = dataclasses.field(default_factory=StorageSpec)
     workload: WorkloadSpec = dataclasses.field(default_factory=WorkloadSpec)
     recovery: RecoverySpec = dataclasses.field(default_factory=RecoverySpec)
+    cache: CacheSpec = dataclasses.field(default_factory=CacheSpec)
 
 
 #: The default platform used by all experiments.

@@ -235,6 +235,7 @@ class FlowLedger:
         self.name = name
         self._cells: dict[str, dict[str, int]] = {}
         self._expectations: list[tuple[str, tuple[str, ...], tuple[str, ...], float]] = []
+        self._probes: list[typing.Callable[["FlowLedger"], None]] = []
         if sim is not None:
             track = getattr(sim, "_track", None)
             if track is not None:
@@ -247,6 +248,26 @@ class FlowLedger:
         self._cells.setdefault(flow, {})[point] = (
             self._cells.get(flow, {}).get(point, 0) + nbytes
         )
+
+    def set_level(self, point: str, flow: str, nbytes: int) -> None:
+        """Set `flow`'s cell at `point` to an absolute level.
+
+        For *stock* measurement points — bytes currently held somewhere
+        (a cache, a queue) rather than bytes that moved through a wire.
+        Stocks make conservation closable: ``fills == drains + held``.
+        """
+        if nbytes < 0:
+            raise SimulationError(f"negative byte level {nbytes} for flow {flow!r}")
+        self._cells.setdefault(flow, {})[point] = nbytes
+
+    def add_probe(self, probe: typing.Callable[["FlowLedger"], None]) -> None:
+        """Register a callback refreshing stock levels before each audit.
+
+        Probes run at the top of :meth:`imbalances`, typically calling
+        :meth:`set_level` with a live occupancy figure, so standing
+        expectations see current — not last-recorded — stock.
+        """
+        self._probes.append(probe)
 
     def total(self, flow: str, *points: str) -> int:
         """Bytes of `flow` summed over `points` (0 when never seen)."""
@@ -278,6 +299,8 @@ class FlowLedger:
 
     def imbalances(self) -> list[str]:
         """Descriptions of every declared expectation that does not hold."""
+        for probe in self._probes:
+            probe(self)
         problems = []
         for flow, inputs, outputs, scale in self._expectations:
             expected = self.total(flow, *inputs) * scale

@@ -47,6 +47,9 @@ class StorageServer:
         self.failed = False
         self.writes_served = Counter(f"{address}.writes")
         self.reads_served = Counter(f"{address}.reads")
+        #: Payload bytes shipped back by reads — the backend-traffic
+        #: figure the hot-block cache experiments compare against.
+        self.read_bytes_served = Counter(f"{address}.read-bytes")
 
     def serve(self, qp: QueuePair) -> None:
         """Start a service loop on one connection (call once per QP)."""
@@ -147,6 +150,7 @@ class StorageServer:
         if self.failed:
             return
         self.reads_served.add()
+        self.read_bytes_served.add(record.size)
         meta = record.meta
         payload = Payload(
             size=record.size,

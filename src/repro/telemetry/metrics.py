@@ -118,6 +118,16 @@ class LatencyRecorder:
             "p999": self.percentile(0.999),
         }
 
+    def maybe_summary(self) -> dict[str, float] | None:
+        """Like :meth:`summary`, but ``None`` on an empty recorder.
+
+        For per-source splits (cache hit vs miss latency) where a cell
+        can legitimately see zero samples.
+        """
+        if not self._samples:
+            return None
+        return self.summary()
+
     def __repr__(self) -> str:
         return f"<LatencyRecorder {self.name!r} n={self.count}>"
 

@@ -6,12 +6,26 @@
 - :class:`~repro.workloads.generators.ClientDriver` is the closed-loop
   load generator that plays the "one server keeps issuing write
   requests" role of §5.1 and records latency/throughput;
+- :class:`~repro.workloads.generators.SkewedReadFactory` draws reads
+  from a Zipf distribution over the written LBA range (hot-block cache
+  experiments);
 - :class:`~repro.workloads.mlc.MlcInjector` reproduces the Intel Memory
   Latency Checker methodology of §3.1.2/§5.3: dummy memory requests
   injected with a configurable inter-request delay.
 """
 
-from repro.workloads.generators import ClientDriver, WriteRequestFactory
+from repro.workloads.generators import (
+    ClientDriver,
+    DriverResult,
+    SkewedReadFactory,
+    WriteRequestFactory,
+)
 from repro.workloads.mlc import MlcInjector
 
-__all__ = ["ClientDriver", "MlcInjector", "WriteRequestFactory"]
+__all__ = [
+    "ClientDriver",
+    "DriverResult",
+    "MlcInjector",
+    "SkewedReadFactory",
+    "WriteRequestFactory",
+]

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import bisect
 import dataclasses
+import itertools
 import random
 import typing
 
@@ -98,6 +100,60 @@ class WriteRequestFactory:
         )
 
 
+class SkewedReadFactory:
+    """Zipf-distributed reads over a previously written LBA range.
+
+    Rank ``r`` (1-based) is read with weight ``1 / r**skew``; ``skew=0``
+    degenerates to uniform. Which LBA holds which rank comes from a
+    seeded shuffle, so the hot set is not just the first blocks written.
+    Wraps a :class:`WriteRequestFactory` for the actual request build,
+    so headers (chunk ids, VM id) match the write stream's.
+    """
+
+    def __init__(
+        self,
+        factory: WriteRequestFactory,
+        n_blocks: int,
+        skew: float = 0.99,
+        seed: int = 0,
+    ) -> None:
+        if n_blocks < 1:
+            raise ValueError(f"need at least one block, got {n_blocks}")
+        if skew < 0:
+            raise ValueError(f"Zipf skew must be non-negative, got {skew!r}")
+        self.factory = factory
+        self.n_blocks = n_blocks
+        self.skew = skew
+        self._rng = random.Random(seed)
+        lbas = list(range(n_blocks))
+        self._rng.shuffle(lbas)
+        self._by_rank = lbas  # rank i (0-based) -> LBA
+        weights = [1.0 / (rank**skew) for rank in range(1, n_blocks + 1)]
+        self._cumulative = list(itertools.accumulate(weights))
+        self._total = self._cumulative[-1]
+
+    @property
+    def hottest_lba(self) -> int:
+        """The rank-1 LBA (highest access probability)."""
+        return self._by_rank[0]
+
+    def expected_frequency(self, rank: int) -> float:
+        """Theoretical access probability of 1-based `rank`."""
+        if not 1 <= rank <= self.n_blocks:
+            raise ValueError(f"rank must be in 1..{self.n_blocks}, got {rank}")
+        return (1.0 / rank**self.skew) / self._total
+
+    def next_lba(self) -> int:
+        """Sample one LBA from the Zipf distribution."""
+        u = self._rng.random() * self._total
+        rank = bisect.bisect_left(self._cumulative, u)
+        return self._by_rank[min(rank, self.n_blocks - 1)]
+
+    def make(self) -> Message:
+        """Build a read request for a Zipf-sampled LBA."""
+        return self.factory.make_read(self.next_lba())
+
+
 @dataclasses.dataclass
 class DriverResult:
     """What one closed-loop run measured (after warm-up exclusion)."""
@@ -106,6 +162,10 @@ class DriverResult:
     payload_bytes: int
     duration: float
     latency: LatencyRecorder
+    #: Requests that completed with a non-``ok`` status, as
+    #: ``(lba, status)`` pairs — e.g. ``(17, "unavailable")`` when every
+    #: replica fail-over attempt for LBA 17 timed out.
+    failures: tuple = ()
 
     @property
     def throughput(self) -> float:
@@ -113,6 +173,16 @@ class DriverResult:
         if self.duration <= 0:
             return 0.0
         return self.payload_bytes / self.duration
+
+    @property
+    def failed_lbas(self) -> tuple:
+        """LBAs whose request failed, in completion order."""
+        return tuple(lba for lba, _status in self.failures)
+
+    @property
+    def ok_requests(self) -> int:
+        """Requests that completed with ``status="ok"``."""
+        return self.requests - len(self.failures)
 
 
 class OpenLoopDriver:
@@ -284,13 +354,20 @@ class ClientDriver:
 
     def run_reads(self, lbas: typing.Sequence[int], concurrency: int | None = None) -> typing.Any:
         """Issue read requests for `lbas` (closed loop); returns a process
-        that fires with a fresh :class:`DriverResult` for the reads only."""
+        that fires with a fresh :class:`DriverResult` for the reads only.
+
+        Per-read failures are *surfaced*, not folded away: a reply with
+        ``status != "ok"`` (``unavailable`` after exhausted fail-over,
+        ``not_found``) lands in :attr:`DriverResult.failures` with its
+        LBA, so callers can tell which reads the aggregate hides.
+        """
         concurrency = concurrency or self.concurrency
         lbas = list(lbas)
         if not lbas:
             raise ValueError("no LBAs to read")
         self.tier.start()
         samples: list[tuple[float, float, int]] = []
+        failures: list[tuple[int, str]] = []
         shards = [lbas[i::concurrency] for i in range(concurrency)]
 
         def stream(shard):
@@ -301,6 +378,9 @@ class ClientDriver:
                 start = self.sim.now
                 yield self.qp.send(message)
                 reply = yield reply_event
+                status = reply.header.get("status", "ok")
+                if status != "ok":
+                    failures.append((lba, status))
                 samples.append((start, self.sim.now, reply.payload_size))
 
         streams = [self.sim.process(stream(shard)) for shard in shards if shard]
@@ -319,6 +399,7 @@ class ClientDriver:
                 payload_bytes=payload_bytes,
                 duration=duration,
                 latency=latency,
+                failures=tuple(failures),
             )
 
         return self.sim.process(collect())

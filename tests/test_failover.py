@@ -12,6 +12,7 @@ import random
 
 import pytest
 
+from repro.cache import HotBlockCache
 from repro.core import SmartDsMiddleTier
 from repro.core.device import DeviceMemoryAllocator
 from repro.middletier import (
@@ -22,7 +23,8 @@ from repro.middletier import (
     Testbed,
 )
 from repro.net import Message, NetworkPort, RoceEndpoint
-from repro.params import NetworkSpec, RecoverySpec
+from repro.net.message import Payload
+from repro.params import CacheSpec, NetworkSpec, RecoverySpec
 from repro.sim import Simulator
 from repro.units import gbps, kib, msec, usec
 from repro.workloads import ClientDriver, WriteRequestFactory
@@ -332,6 +334,133 @@ class TestAllocatorDegradation:
         got = sim.run(until=sim.process(allocator.alloc_within(2_000, max_wait=usec(50))))
         assert got is None
         assert allocator.alloc_rejected.value == 1
+        sim.run()
+
+
+class TestReclaimOrdering:
+    """Elastic reclaim and the strict-FIFO headroom queue."""
+
+    def _allocator(self, capacity=10_000):
+        sim = Simulator()
+        return sim, DeviceMemoryAllocator(
+            capacity, sim=sim, high_watermark=0.9, low_watermark=0.5
+        )
+
+    def test_gated_alloc_consults_reclaimers_before_refusing(self):
+        sim, allocator = self._allocator()
+        elastic = [allocator.alloc(2_000), allocator.alloc(2_000)]
+
+        def shed(nbytes):
+            freed = 0
+            while elastic and freed < nbytes:
+                buffer = elastic.pop()
+                allocator.free(buffer)
+                freed += buffer.size
+            return freed
+
+        allocator.register_reclaimer(shed)
+        hog = allocator.alloc(5_500)  # 9_500 total: above the admission limit
+        got = allocator.try_alloc(2_000)
+        assert got is not None
+        assert allocator.bytes_reclaimed.value >= 2_000
+        allocator.free(got)
+        allocator.free(hog)
+
+    def test_reclaim_drains_to_the_low_watermark_not_the_minimum(self):
+        """Shedding only enough for the current request would keep
+        occupancy glued to the admission gate; the drain target is the
+        contract (see DeviceMemoryAllocator.try_alloc)."""
+        sim, allocator = self._allocator()
+        cache = HotBlockCache(
+            sim, allocator, CacheSpec(enabled=True, capacity_bytes=10_000), name="t.cache"
+        )
+        for block in range(4):
+            token = cache.begin_fill((0, block))
+            cache.offer((0, block), Payload.synthetic(1_000, 1.0), token)
+        hog = allocator.alloc(5_200)  # 9_200 total: above the admission limit
+        got = allocator.try_alloc(500)
+        assert got is not None
+        # Only 700 bytes were needed to admit, but the reclaim aimed at
+        # the drain target (5_000) and shed every cache entry on the way.
+        assert cache.sheds.value == 4
+        assert allocator.allocated == 5_200 + 500  # no elastic bytes left
+        allocator.free(got)
+        allocator.free(hog)
+
+    def test_headroom_waiters_wake_in_fifo_order(self):
+        sim, allocator = self._allocator()
+        hog = allocator.alloc(9_000)
+        completions = []
+
+        def waiter(tag):
+            buffer = yield from allocator.alloc_within(1_200, max_wait=usec(500))
+            assert buffer is not None, tag
+            completions.append(tag)
+
+        def arrivals():
+            for tag in ("first", "second", "third"):
+                sim.process(waiter(tag))
+                yield sim.timeout(usec(1))
+            yield sim.timeout(usec(10))
+            allocator.free(hog)
+
+        sim.process(arrivals())
+        sim.run()
+        assert completions == ["first", "second", "third"]
+        assert allocator.alloc_rejected.value == 0  # nobody starved
+
+    def test_small_waiters_do_not_starve_a_large_head_waiter(self):
+        sim, allocator = self._allocator()
+        hogs = [allocator.alloc(3_000) for _ in range(3)]
+        completions = []
+
+        def waiter(tag, size):
+            buffer = yield from allocator.alloc_within(size, max_wait=usec(500))
+            assert buffer is not None, tag
+            completions.append(tag)
+
+        def arrivals():
+            sim.process(waiter("large", 4_500))
+            yield sim.timeout(usec(1))
+            sim.process(waiter("small-a", 200))
+            sim.process(waiter("small-b", 200))
+            # Frees drip in; the large head waiter must get the first
+            # window that fits it, not lose every race to the small ones.
+            for hog in hogs:
+                yield sim.timeout(usec(10))
+                allocator.free(hog)
+
+        sim.process(arrivals())
+        sim.run()
+        assert completions[0] == "large"
+        assert len(completions) == 3
+
+    def test_expired_waiters_leave_the_queue(self):
+        sim, allocator = self._allocator()
+        allocator.alloc(9_000)  # never freed
+        got = sim.run(until=sim.process(allocator.alloc_within(2_000, max_wait=usec(50))))
+        assert got is None
+        assert allocator.waiters == 0  # no dead entry left to block the head
+        sim.run()
+
+    def test_cache_shed_unblocks_a_parked_waiter(self):
+        """End of the elastic contract: a request waiting for headroom
+        is woken by the cache shedding, within its bounded wait."""
+        sim, allocator = self._allocator()
+        cache = HotBlockCache(
+            sim, allocator, CacheSpec(enabled=True, capacity_bytes=10_000), name="t.cache"
+        )
+        for block in range(4):
+            token = cache.begin_fill((0, block))
+            assert cache.offer((0, block), Payload.synthetic(1_000, 1.0), token)
+        hog = allocator.alloc(5_200)  # cache 4_000 + 5_200: gate closed
+
+        got = sim.run(until=sim.process(allocator.alloc_within(1_000, max_wait=usec(100))))
+        assert got is not None
+        assert cache.sheds.value > 0
+        assert allocator.alloc_rejected.value == 0
+        allocator.free(got)
+        allocator.free(hog)
         sim.run()
 
 

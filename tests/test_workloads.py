@@ -8,7 +8,12 @@ from repro.middletier import CpuOnlyMiddleTier, Testbed
 from repro.params import PlatformSpec
 from repro.sim import Simulator
 from repro.units import msec, usec
-from repro.workloads import ClientDriver, MlcInjector, WriteRequestFactory
+from repro.workloads import (
+    ClientDriver,
+    MlcInjector,
+    SkewedReadFactory,
+    WriteRequestFactory,
+)
 
 
 class TestWriteRequestFactory:
@@ -118,6 +123,112 @@ class TestClientDriver:
         driver = ClientDriver(sim, tier, factory, concurrency=8)
         with pytest.raises(ValueError):
             driver.run(4)  # below concurrency
+
+
+class TestSkewedReadFactory:
+    def test_empirical_hottest_key_frequency_matches_zipf(self):
+        """Property: over a long sample, the rank-1 LBA's observed
+        frequency converges on ``expected_frequency(1)``."""
+        factory = WriteRequestFactory()
+        for n_blocks, skew, seed in ((64, 0.99, 0), (128, 1.2, 3), (32, 0.8, 7)):
+            skewed = SkewedReadFactory(factory, n_blocks, skew=skew, seed=seed)
+            n_samples = 20_000
+            hot_hits = sum(skewed.next_lba() == skewed.hottest_lba for _ in range(n_samples))
+            expected = skewed.expected_frequency(1)
+            assert abs(hot_hits / n_samples - expected) < 0.15 * expected + 0.01, (
+                n_blocks,
+                skew,
+                seed,
+            )
+
+    def test_skew_zero_is_uniform(self):
+        skewed = SkewedReadFactory(WriteRequestFactory(), n_blocks=10, skew=0.0)
+        for rank in (1, 5, 10):
+            assert skewed.expected_frequency(rank) == pytest.approx(0.1)
+
+    def test_rank_frequencies_decay_and_sum_to_one(self):
+        skewed = SkewedReadFactory(WriteRequestFactory(), n_blocks=50, skew=0.99)
+        frequencies = [skewed.expected_frequency(rank) for rank in range(1, 51)]
+        assert frequencies == sorted(frequencies, reverse=True)
+        assert sum(frequencies) == pytest.approx(1.0)
+
+    def test_hot_set_is_shuffled_not_first_written(self):
+        # Across seeds the rank-1 LBA moves: the hot set comes from the
+        # seeded shuffle, not from write order.
+        hot = {SkewedReadFactory(WriteRequestFactory(), 64, seed=s).hottest_lba for s in range(8)}
+        assert len(hot) > 1
+
+    def test_deterministic_given_seed(self):
+        a = SkewedReadFactory(WriteRequestFactory(), 64, skew=0.99, seed=9)
+        b = SkewedReadFactory(WriteRequestFactory(), 64, skew=0.99, seed=9)
+        assert [a.next_lba() for _ in range(50)] == [b.next_lba() for _ in range(50)]
+
+    def test_make_builds_read_requests_in_range(self):
+        factory = WriteRequestFactory()
+        skewed = SkewedReadFactory(factory, n_blocks=16, skew=1.0, seed=1)
+        for _ in range(64):
+            message = skewed.make()
+            assert message.kind == "read_request"
+            assert 0 <= message.header["block_id"] < 16
+
+    def test_invalid_args(self):
+        factory = WriteRequestFactory()
+        with pytest.raises(ValueError):
+            SkewedReadFactory(factory, n_blocks=0)
+        with pytest.raises(ValueError):
+            SkewedReadFactory(factory, n_blocks=4, skew=-0.1)
+        skewed = SkewedReadFactory(factory, n_blocks=4)
+        with pytest.raises(ValueError):
+            skewed.expected_frequency(0)
+        with pytest.raises(ValueError):
+            skewed.expected_frequency(5)
+
+
+class TestReadFailureSurfacing:
+    def _testbed(self):
+        sim = Simulator()
+        testbed = Testbed(sim)
+        tier = CpuOnlyMiddleTier(sim, testbed, n_workers=2)
+        driver = ClientDriver(
+            sim,
+            tier,
+            WriteRequestFactory(testbed.platform, seed=4),
+            concurrency=4,
+            warmup_fraction=0.0,
+        )
+        sim.run(until=driver.run(8))
+        return sim, testbed, tier, driver
+
+    def test_all_ok_reads_have_no_failures(self):
+        sim, _testbed, _tier, driver = self._testbed()
+        result = sim.run(until=driver.run_reads([0, 1, 2, 3], concurrency=2))
+        assert result.failures == ()
+        assert result.failed_lbas == ()
+        assert result.ok_requests == 4
+
+    def test_unavailable_reads_surface_their_lbas(self):
+        """When one LBA's whole replica set is down, the aggregate still
+        completes — but the result names exactly which LBA failed."""
+        sim, testbed, tier, driver = self._testbed()
+        for address in tier._block_locations[(0, 2)]:
+            testbed.server(address).fail()
+        result = sim.run(until=driver.run_reads([0, 1, 2, 3], concurrency=1))
+        assert result.requests == 4
+        failed = dict(result.failures)
+        assert set(failed) == {2} or 2 in failed  # LBA 2 named, others maybe collateral
+        assert failed[2] == "unavailable"
+        assert 2 in result.failed_lbas
+        assert result.ok_requests == result.requests - len(result.failures)
+        assert tier.reads_unavailable.value >= 1
+        for address in tier._block_locations[(0, 2)]:
+            testbed.server(address).recover()
+        sim.run()
+
+    def test_unwritten_lba_fails_as_not_found(self):
+        sim, _testbed, _tier, driver = self._testbed()
+        result = sim.run(until=driver.run_reads([0, 999], concurrency=1))
+        assert result.failures == ((999, "not_found"),)
+        assert result.ok_requests == 1
 
 
 class TestMlcInjector:
