@@ -35,6 +35,7 @@ from repro.cache.sketch import FrequencySketch
 from repro.core.device import DeviceBuffer, DeviceMemoryAllocator
 from repro.params import CacheSpec
 from repro.telemetry.metrics import Counter, Gauge, ratio
+from repro.telemetry.registry import registry_for
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.hostmodel.memory import MemorySubsystem
@@ -106,6 +107,22 @@ class HotBlockCache:
         self.hit_bytes = Counter(f"{name}.hit-bytes")
         self.occupancy = Gauge(f"{name}.occupancy")
         self.entries = Gauge(f"{name}.entries")
+
+        registry = registry_for(sim)
+        if registry is not None:
+            labels = dict(component="cache", cache=name)
+            registry.register_instance(self.hits, "cache.hits", **labels)
+            registry.register_instance(self.misses, "cache.misses", **labels)
+            registry.register_instance(self.admissions, "cache.admissions", **labels)
+            registry.register_instance(self.rejections, "cache.rejections", **labels)
+            registry.register_instance(self.evictions, "cache.evictions", **labels)
+            registry.register_instance(self.invalidations, "cache.invalidations", **labels)
+            registry.register_instance(self.sheds, "cache.sheds", **labels)
+            registry.register_instance(self.fills_raced, "cache.fills_raced", **labels)
+            registry.register_instance(self.pressure_refusals, "cache.pressure_refusals", **labels)
+            registry.register_instance(self.hit_bytes, "cache.hit_bytes", **labels)
+            registry.register_instance(self.occupancy, "cache.occupancy", **labels)
+            registry.register_instance(self.entries, "cache.entries", **labels)
 
         allocator.register_reclaimer(self._shed)
 

@@ -151,19 +151,33 @@ class AamsDatapath(Datapath):
             # software recv queue (return False); the payload lands in
             # host DRAM instead of HBM.
             total = message.header_size + message.payload.size
+            span = None
+            if message.span is not None:
+                span = message.span.child("aams.split", path="host")
             yield device.pcie.dma_write(total, flow=message.flow)
             yield from device.charge_host_header_write(message.header_size)
             if device.host_memory is not None:
                 yield device.host_memory.write(message.payload.size, flow=message.flow)
             device.host_path_fallbacks.add()
+            if span is not None:
+                span.finish("degraded", nbytes=total, reason="starved-qp")
             return False
         # Large message: wait for (or take) the posted split descriptor.
         descriptor: SplitDescriptor = yield self.split.pop(qp)
+        span = None
+        if message.span is not None:
+            span = message.span.child("aams.split", path="split")
         yield device.sim.timeout(device.spec.split_latency)
         header_bytes = min(descriptor.h_size, message.header_size)
+        pcie_span = None if span is None else span.child("pcie.header")
         yield device.pcie.dma_write(header_bytes, flow=message.flow)
         yield from device.charge_host_header_write(header_bytes)
+        if pcie_span is not None:
+            pcie_span.finish(nbytes=header_bytes)
+        hbm_span = None if span is None else span.child("hbm.payload")
         yield device.hbm.write(message.payload.size, flow=message.flow)
+        if hbm_span is not None:
+            hbm_span.finish(nbytes=message.payload.size)
         descriptor.h_buf.content = dict(message.header)
         descriptor.d_buf.payload = message.payload
         completion = SplitCompletion(
@@ -173,6 +187,8 @@ class AamsDatapath(Datapath):
             d_buf=descriptor.d_buf,
         )
         descriptor.event.succeed(completion)
+        if span is not None:
+            span.finish("ok", nbytes=message.payload.size)
         return True
 
     def egress(self, message: Message, qp: QueuePair) -> typing.Generator:

@@ -28,6 +28,7 @@ from repro.net.link import NetworkPort
 from repro.net.roce import RoceEndpoint
 from repro.params import PlatformSpec
 from repro.telemetry.metrics import Counter, Gauge
+from repro.telemetry.registry import registry_for
 from repro.units import gib, kib, mib
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -100,6 +101,13 @@ class DeviceMemoryAllocator:
         self.alloc_deferred = Counter("hbm.alloc-deferred")
         self.alloc_rejected = Counter("hbm.alloc-rejected")
         self.bytes_reclaimed = Counter("hbm.bytes-reclaimed")
+        registry = registry_for(sim)
+        if registry is not None:
+            labels = dict(component="hbm")
+            registry.register_instance(self.occupancy, "hbm.occupancy", **labels)
+            registry.register_instance(self.alloc_deferred, "hbm.alloc_deferred", **labels)
+            registry.register_instance(self.alloc_rejected, "hbm.alloc_rejected", **labels)
+            registry.register_instance(self.bytes_reclaimed, "hbm.bytes_reclaimed", **labels)
         self._waiters: list[tuple[int, "typing.Any"]] = []  # (size, Event), FIFO
         self._reclaimers: list[typing.Callable[[int], int]] = []
         self._reclaiming = False
@@ -349,6 +357,14 @@ class SmartDsDevice:
         #: Requests the card handled without the Split module (full frame
         #: over PCIe) because device memory was above the high watermark.
         self.host_path_fallbacks = Counter(f"{name}.host-path-fallbacks")
+        registry = registry_for(sim)
+        if registry is not None:
+            registry.register_instance(
+                self.host_path_fallbacks,
+                "device.host_path_fallbacks",
+                component="device",
+                device=name,
+            )
         #: One deterministic fault schedule for the whole card: its loss
         #: bursts hit the RoCE instances, its stall windows the PCIe
         #: link, its slowdown windows the hardware engines.

@@ -31,6 +31,7 @@ from repro.middletier.cluster import Testbed
 from repro.net.message import Message, decompress_payload
 from repro.net.roce import QueuePair, RoceEndpoint
 from repro.telemetry.metrics import Counter
+from repro.telemetry.registry import registry_for
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.params import CacheSpec
@@ -95,6 +96,11 @@ class SmartDsMiddleTier(MiddleTierServer):
         #: Reads whose reply payload landed in host memory (no split
         #: descriptor) or was decompressed in software (no HBM output).
         self.reads_degraded = Counter(f"{address}.reads-degraded")
+        registry = registry_for(sim)
+        if registry is not None:
+            labels = dict(component="middletier", design=self.design_name, address=address)
+            registry.register_instance(self.requests_degraded, "tier.requests_degraded", **labels)
+            registry.register_instance(self.reads_degraded, "tier.reads_degraded", **labels)
 
     @property
     def n_ports(self) -> int:
@@ -240,14 +246,22 @@ class SmartDsMiddleTier(MiddleTierServer):
         api = self.api
         entry = self._buffers.pop(message.request_id, None)
         posts = self.platform.storage.replication + 1
+        parent = message.span
         if entry is None:
             # Degraded host-path write: ingress fell back under memory
             # pressure, so the payload sits in host DRAM, not HBM. Skip
             # the engine and replicate the raw payload — durability is
             # preserved, compression is sacrificed.
             self.requests_degraded.add()
+            host_span = None
+            if parent is not None:
+                host_span = message.span = parent.child(
+                    "write.host-path", reason="ingress-fallback"
+                )
             yield self.sim.timeout(self.platform.host.post_descriptor_time * posts)
             yield from self._replicate_and_reply(qp, message, message.payload)
+            if host_span is not None:
+                host_span.finish("degraded", nbytes=message.payload_size)
             return
         port_index, h_buf, d_recv = entry
         engine = self.device.instance(port_index).engine
@@ -262,13 +276,18 @@ class SmartDsMiddleTier(MiddleTierServer):
                 # No HBM for the compressed output within the bounded
                 # wait: ship the raw payload instead of crashing.
                 self.requests_degraded.add()
+                if parent is not None:
+                    parent.event("write.raw-payload", outcome="degraded", reason="no-hbm")
                 outgoing = message.payload
             else:
+                eng_span = None if parent is None else parent.child("engine.compress")
                 completion = api.dev_func(
                     d_recv, message.payload.size, d_send, self._buffer_bytes, engine
                 )
                 yield from api.poll(completion)
                 outgoing = d_send.payload
+                if eng_span is not None:
+                    eng_span.finish(nbytes=outgoing.size)
         # Post the replica sends and the VM reply (completion-context CPU).
         yield self.sim.timeout(self.platform.host.post_descriptor_time * posts)
         try:
@@ -297,6 +316,8 @@ class SmartDsMiddleTier(MiddleTierServer):
         """
         api = self.api
         payload = entry.payload
+        parent = message.span
+        hit_span = None if parent is None else parent.child("cache.hit")
         d_out = None
         try:
             if payload.is_compressed:
@@ -306,17 +327,26 @@ class SmartDsMiddleTier(MiddleTierServer):
                 if d_out is None:
                     # No HBM for the decompressed output: software path.
                     self.reads_degraded.add()
+                    sw_span = None if hit_span is None else hit_span.child("decompress.sw")
                     yield self.memory.read(payload.size)
                     payload = decompress_payload(payload)
+                    if sw_span is not None:
+                        sw_span.finish("degraded", nbytes=payload.size)
                 else:
                     engine = self.device.instance(port_index).engine
+                    eng_span = None if hit_span is None else hit_span.child("engine.decompress")
                     payload = yield engine.run(
                         entry.buffer, payload.size, d_out, operation=lz4_decompress_op
                     )
+                    if eng_span is not None:
+                        eng_span.finish(nbytes=payload.size)
             response = message.reply("read_reply", status="ok")
             response.payload = payload
+            response.span = hit_span
             yield qp.send(response)
-            self.requests_completed.add()
+            if hit_span is not None:
+                hit_span.finish(nbytes=payload.size)
+            self._complete(message)
             self.cache_hit_latency.record(self.sim.now - started)
         finally:
             self.cache.release(entry)
@@ -340,15 +370,20 @@ class SmartDsMiddleTier(MiddleTierServer):
         started = self.sim.now
         key = (message.header.get("chunk_id", 0), message.header.get("block_id", 0))
         port_index = message.header.get("arrival_port", 0)
+        parent = message.span
         fill_token = None
         if self.cache is not None:
             entry = self.cache.lookup(key)
             if entry is not None:
                 yield from self._reply_from_cache(qp, message, entry, port_index, started)
                 return
+            if parent is not None:
+                parent.event("cache.miss")
             fill_token = self.cache.begin_fill(key)
         locations = self._block_locations.get(key)
         if not locations:
+            if parent is not None:
+                parent.event("read.not_found", outcome="failed")
             yield qp.send(message.reply("read_reply", status="not_found"))
             return
         policy = self.read_retry
@@ -366,7 +401,16 @@ class SmartDsMiddleTier(MiddleTierServer):
                 or policy.deadline_expired(self.sim.now - start)
             ):
                 self.reads_unavailable.add()
-                yield qp.send(message.reply("read_reply", status="unavailable"))
+                unavail_span = None
+                if parent is not None:
+                    unavail_span = parent.child(
+                        "read.unavailable", attempts=attempts, **policy.describe()
+                    )
+                response = message.reply("read_reply", status="unavailable")
+                response.span = unavail_span
+                yield qp.send(response)
+                if unavail_span is not None:
+                    unavail_span.finish("failed")
                 return
             attempts += 1
             backoff = policy.backoff_before(attempts, token)
@@ -386,6 +430,10 @@ class SmartDsMiddleTier(MiddleTierServer):
                 header_size=message.header_size,
                 header={"chunk_id": key[0], "block_id": key[1]},
             )
+            attempt_span = None
+            if parent is not None:
+                attempt_span = parent.child("read.attempt", server=address, attempt=attempts)
+                fetch.span = attempt_span
             # A reply with data is consumed by the Split module (payload
             # to HBM); a miss is header-only and lands at the control
             # matcher — as does a *full* reply when the device degraded
@@ -399,12 +447,20 @@ class SmartDsMiddleTier(MiddleTierServer):
             if data_event.triggered:
                 control_matcher.forget(fetch.request_id)
                 stored, d_buf = data_event.value
+                if attempt_span is not None:
+                    attempt_span.finish("ok", nbytes=stored.payload_size, path="split")
             elif ctl_event.triggered:
                 reply_matcher.forget(fetch.request_id)
                 ctl: Message = ctl_event.value
                 if ctl.kind == "storage_read_reply" and ctl.payload is not None:
                     stored = ctl  # degraded: payload is in host memory
+                    if attempt_span is not None:
+                        attempt_span.finish(
+                            "degraded", nbytes=stored.payload_size, path="host"
+                        )
                 else:
+                    if attempt_span is not None:
+                        attempt_span.finish("failed")
                     yield qp.send(message.reply("read_reply", status="not_found"))
                     return
             else:
@@ -413,21 +469,33 @@ class SmartDsMiddleTier(MiddleTierServer):
                 reply_matcher.forget(fetch.request_id)
                 control_matcher.forget(fetch.request_id)
                 self.read_failovers.add()
+                if attempt_span is not None:
+                    attempt_span.finish(
+                        "retried", timeout=policy.timeout_for(attempts, self.sim.now - start)
+                    )
 
         payload = stored.payload
         if self.cache is not None and fill_token is not None:
             # Admission decision on the fetched (still compressed) block.
-            self.cache.offer(key, payload, fill_token)
+            admitted = self.cache.offer(key, payload, fill_token)
+            if parent is not None:
+                parent.event("cache.fill", admitted=admitted)
         if d_buf is None:
             # Host-path reply: decompress in software from host DRAM.
             self.reads_degraded.add()
+            host_span = None
+            if parent is not None:
+                host_span = parent.child("read.host-path", reason="no-split-descriptor")
             if payload.is_compressed:
                 yield self.memory.read(payload.size)
                 payload = decompress_payload(payload)
             response = message.reply("read_reply", status="ok")
             response.payload = payload
+            response.span = host_span
             yield qp.send(response)
-            self.requests_completed.add()
+            if host_span is not None:
+                host_span.finish("degraded", nbytes=payload.size)
+            self._complete(message)
             if self.cache is not None:
                 self.cache_miss_latency.record(self.sim.now - started)
             return
@@ -439,19 +507,26 @@ class SmartDsMiddleTier(MiddleTierServer):
                 if d_out is None:
                     # No HBM for the decompressed output: software path.
                     self.reads_degraded.add()
+                    sw_span = None if parent is None else parent.child("decompress.sw")
                     yield self.memory.read(payload.size)
                     payload = decompress_payload(payload)
+                    if sw_span is not None:
+                        sw_span.finish("degraded", nbytes=payload.size)
                 else:
                     # Same engine, decompression microprogram (the paper's
                     # engines are symmetric for LZ4).
                     engine = self.device.instance(port_index).engine
+                    eng_span = None if parent is None else parent.child("engine.decompress")
                     payload = yield engine.run(
                         d_buf, payload.size, d_out, operation=lz4_decompress_op
                     )
+                    if eng_span is not None:
+                        eng_span.finish(nbytes=payload.size)
             response = message.reply("read_reply", status="ok")
             response.payload = payload
+            response.span = parent
             yield qp.send(response)
-            self.requests_completed.add()
+            self._complete(message)
             if self.cache is not None:
                 self.cache_miss_latency.record(self.sim.now - started)
         finally:

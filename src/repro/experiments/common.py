@@ -82,21 +82,26 @@ class Measurement:
     mlc_gbps: float = 0.0
 
 
-def _tier_pcie_meters(tier: typing.Any) -> dict[str, float]:
-    """Per-device PCIe bandwidth (Gb/s, both directions summed)."""
+def _tier_pcie_meters(tier: typing.Any, window: float | None = None) -> dict[str, float]:
+    """Per-device PCIe bandwidth (Gb/s, both directions summed).
+
+    Pass the run's measurement `window` so a meter with a single
+    recorded transfer still reports a rate (its implicit first-to-last
+    span is zero).
+    """
     meters: dict[str, float] = {}
     nic = getattr(tier, "nic", None)
     if nic is not None:
-        meters["nic-h2d"] = to_gbps(nic.pcie.h2d_meter.rate())
-        meters["nic-d2h"] = to_gbps(nic.pcie.d2h_meter.rate())
+        meters["nic-h2d"] = to_gbps(nic.pcie.h2d_meter.rate(window))
+        meters["nic-d2h"] = to_gbps(nic.pcie.d2h_meter.rate(window))
     fpga_pcie = getattr(tier, "fpga_pcie", None)
     if fpga_pcie is not None:
-        meters["fpga-h2d"] = to_gbps(fpga_pcie.h2d_meter.rate())
-        meters["fpga-d2h"] = to_gbps(fpga_pcie.d2h_meter.rate())
+        meters["fpga-h2d"] = to_gbps(fpga_pcie.h2d_meter.rate(window))
+        meters["fpga-d2h"] = to_gbps(fpga_pcie.d2h_meter.rate(window))
     device = getattr(tier, "device", None)
     if device is not None and hasattr(device, "pcie"):
-        meters["smartds-h2d"] = to_gbps(device.pcie.h2d_meter.rate())
-        meters["smartds-d2h"] = to_gbps(device.pcie.d2h_meter.rate())
+        meters["smartds-h2d"] = to_gbps(device.pcie.h2d_meter.rate(window))
+        meters["smartds-d2h"] = to_gbps(device.pcie.d2h_meter.rate(window))
     return meters
 
 
@@ -164,8 +169,8 @@ def measure_design(
         avg_latency_us=to_usec(sum(latencies) / len(latencies)),
         p99_latency_us=pct(0.99),
         p999_latency_us=pct(0.999),
-        memory_read_gbps=to_gbps(memory.read_meter.rate()),
-        memory_write_gbps=to_gbps(memory.write_meter.rate()),
-        pcie_gbps=_tier_pcie_meters(tier),
-        mlc_gbps=to_gbps(mlc.meter.rate()) if mlc is not None else 0.0,
+        memory_read_gbps=to_gbps(memory.read_meter.rate(sim.now)),
+        memory_write_gbps=to_gbps(memory.write_meter.rate(sim.now)),
+        pcie_gbps=_tier_pcie_meters(tier, window=sim.now),
+        mlc_gbps=to_gbps(mlc.meter.rate(sim.now)) if mlc is not None else 0.0,
     )

@@ -52,3 +52,19 @@ def dump_results(results: typing.Sequence[ExperimentResult], path: str) -> None:
     document = {result.experiment_id: result_to_dict(result) for result in results}
     with open(path, "w") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)
+
+
+def metrics_to_dict(registries: typing.Sequence[typing.Any]) -> dict:
+    """Flat dump of every registry a :class:`TraceSession` collected.
+
+    One entry per simulator the traced run created, in creation order;
+    each is the registry's :meth:`~repro.telemetry.registry.MetricsRegistry.to_dict`
+    (series values plus the periodic gauge samples).
+    """
+    return {"registries": [jsonable(registry.to_dict()) for registry in registries]}
+
+
+def dump_metrics(registries: typing.Sequence[typing.Any], path: str) -> None:
+    """Write :func:`metrics_to_dict` to `path` as JSON."""
+    with open(path, "w") as handle:
+        json.dump(metrics_to_dict(registries), handle, indent=2, sort_keys=True)

@@ -90,6 +90,19 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         metavar="FILE",
         help="dump all selected results to FILE as JSON (for external plotting)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="record request spans for every simulator the selected experiments "
+        "create and write a Chrome trace_event JSON to FILE (open in Perfetto); "
+        "also prints the critical path of the most interesting request",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="with --trace: also dump every registered metric series "
+        "(counters, gauges + periodic samples, histograms) to FILE as JSON",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -103,23 +116,52 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
             f"unknown experiment(s): {', '.join(unknown)} (try --list to see the registry)"
         )
 
+    if args.metrics and not args.trace:
+        parser.error("--metrics requires --trace (the trace session owns the registries)")
+
+    session = None
+    if args.trace:
+        from repro.telemetry.spans import TraceSession
+
+        session = TraceSession().install()
+
     selected = sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
     results = []
-    for name in selected:
-        started = time.time()
-        result = EXPERIMENTS[name].run(quick=args.quick)
-        results.append(result)
-        print(result.render())
-        if args.chart:
-            charts = render_charts(result)
-            if charts:
-                print("\n" + charts)
-        print(f"[{name} completed in {time.time() - started:.1f}s]\n")
+    try:
+        for name in selected:
+            started = time.time()
+            result = EXPERIMENTS[name].run(quick=args.quick)
+            results.append(result)
+            print(result.render())
+            if args.chart:
+                charts = render_charts(result)
+                if charts:
+                    print("\n" + charts)
+            print(f"[{name} completed in {time.time() - started:.1f}s]\n")
+    finally:
+        if session is not None:
+            session.uninstall()
     if args.json:
         from repro.experiments.export import dump_results
 
         dump_results(results, args.json)
         print(f"[wrote {len(results)} result(s) to {args.json}]")
+    if session is not None:
+        session.write_chrome_trace(args.trace)
+        print(
+            f"[wrote {session.total_spans} span(s) across {session.total_traces} "
+            f"request trace(s) to {args.trace}]"
+        )
+        interesting = session.interesting_trace()
+        if interesting is not None:
+            collector, trace_id = interesting
+            print("critical path of the most interesting request:")
+            print(collector.format_critical_path(trace_id))
+        if args.metrics:
+            from repro.experiments.export import dump_metrics
+
+            dump_metrics(session.registries, args.metrics)
+            print(f"[wrote {len(session.registries)} metric registr(ies) to {args.metrics}]")
     return 0
 
 

@@ -30,6 +30,7 @@ from repro.params import PlatformSpec
 from repro.sim.events import AnyOf, Event
 from repro.sim.resources import Store
 from repro.telemetry.metrics import Counter, LatencyRecorder
+from repro.telemetry.registry import registry_for
 from repro.units import msec
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -158,6 +159,22 @@ class MiddleTierServer(abc.ABC):
         self.retain_writes = False
         self._chunk_log: dict[int, list[RetainedWrite]] = {}
         self._started = False
+        # Optional labeled-series registration: None when no registry is
+        # attached to the simulator (the common case) — every hot-path
+        # use is guarded on that.
+        self._latency_hist: typing.Any = None
+        registry = registry_for(sim)
+        if registry is not None:
+            labels = dict(component="middletier", design=self.design_name, address=address)
+            registry.register_instance(self.requests_completed, "tier.requests_completed", **labels)
+            registry.register_instance(self.payload_bytes_served, "tier.payload_bytes", **labels)
+            registry.register_instance(self.failovers, "tier.write_failovers", **labels)
+            registry.register_instance(self.read_failovers, "tier.read_failovers", **labels)
+            registry.register_instance(self.reads_unavailable, "tier.reads_unavailable", **labels)
+            registry.register_instance(self.cache_hit_latency, "tier.cache_hit_latency", **labels)
+            registry.register_instance(self.cache_miss_latency, "tier.cache_miss_latency", **labels)
+            self._latency_hist = registry.histogram("tier.request_latency", **labels)
+            registry.gauge_callable("tier.queue_depth", lambda: len(self._requests), **labels)
         self._build()
         self._connect_storage()
 
@@ -253,6 +270,12 @@ class MiddleTierServer(abc.ABC):
 
     # -- write completion: replication, fail-over, VM ack --------------------
 
+    def _complete(self, message: Message) -> None:
+        """Count one served request; feed the latency histogram if registered."""
+        self.requests_completed.add()
+        if self._latency_hist is not None and message.created_at is not None:
+            self._latency_hist.observe(self.sim.now - message.created_at)
+
     def _spawn_completion(self, qp: QueuePair, message: Message, payload: Payload) -> None:
         """Persist `payload` to the replica set and ack the VM, off-worker."""
         self.sim.process(
@@ -263,11 +286,16 @@ class MiddleTierServer(abc.ABC):
         self, qp: QueuePair, message: Message, payload: Payload
     ) -> typing.Generator:
         servers = self.testbed.policy.choose()
+        rep_span = None
+        if message.span is not None:
+            rep_span = message.span.child("write.replicate", replicas=len(servers))
         # Fail-over must never double-place a block: every retry excludes
         # the whole original target set, not just the server that died.
         targets = {server.address for server in servers}
         writes = [
-            self.sim.process(self._write_replica(server, message, payload, exclude=targets))
+            self.sim.process(
+                self._write_replica(server, message, payload, exclude=targets, span=rep_span)
+            )
             for server in servers
         ]
         results = yield self.sim.all_of(writes)
@@ -284,8 +312,11 @@ class MiddleTierServer(abc.ABC):
                 RetainedWrite(block_id=key[1], payload=payload, replicas=replicas)
             )
         reply = message.reply("write_reply", status="ok")
+        reply.span = rep_span
         yield qp.send(reply)
-        self.requests_completed.add()
+        if rep_span is not None:
+            rep_span.finish(nbytes=payload.size * len(servers))
+        self._complete(message)
         self.payload_bytes_served.add(message.payload_size)
 
     def _write_replica(
@@ -294,6 +325,7 @@ class MiddleTierServer(abc.ABC):
         message: Message,
         payload: Payload,
         exclude: typing.Collection[str] = (),
+        span: typing.Any = None,
     ) -> typing.Generator:
         """Write one replica; on time-out, fail over to another server.
 
@@ -327,6 +359,12 @@ class MiddleTierServer(abc.ABC):
                     "block_id": message.header.get("block_id", 0),
                 },
             )
+            attempt_span = None
+            if span is not None:
+                attempt_span = span.child(
+                    "write.attempt", server=server.address, attempt=attempts
+                )
+                store_msg.span = attempt_span
             ack_event = matcher.expect(store_msg.request_id)
             try:
                 yield qp.send(store_msg)
@@ -339,13 +377,19 @@ class MiddleTierServer(abc.ABC):
                     matcher.forget(store_msg.request_id)
             if ack_event.triggered:
                 ack: Message = ack_event.value
+                if attempt_span is not None:
+                    attempt_span.finish("ok", nbytes=payload.size)
                 return (server.address, ack.header.get("location", -1))
             # Timed out: pick a replacement and retry (§2.2.3 fail-over).
+            if attempt_span is not None:
+                attempt_span.finish("retried", timeout=policy.timeout_for(attempts))
             self.failovers.add()
             excluded.add(server.address)
             if policy.attempts_exhausted(attempts) or attempts > len(
                 self.testbed.storage_servers
             ):
+                if span is not None:
+                    span.finish("failed", attempts=attempts)
                 raise RuntimeError(f"write to {store_msg.header} failed on every server")
             server = self._choose_replacement(excluded)
             backoff = policy.backoff_before(attempts + 1, token)
@@ -438,26 +482,38 @@ class MiddleTierServer(abc.ABC):
         """
         started = self.sim.now
         key = (message.header.get("chunk_id", 0), message.header.get("block_id", 0))
+        parent = message.span
         fill_token = None
         if self.cache is not None:
             entry = self.cache.lookup(key)
             if entry is not None:
+                hit_span = None if parent is None else parent.child("cache.hit")
                 try:
                     payload = entry.payload
                     if payload.is_compressed:
+                        dec_span = None if hit_span is None else hit_span.child("decompress")
                         yield from self._decompress_cost(worker_index, payload)
                         payload = decompress_payload(payload)
+                        if dec_span is not None:
+                            dec_span.finish(nbytes=payload.size)
                 finally:
                     self.cache.release(entry)
                 response = message.reply("read_reply", status="ok")
                 response.payload = payload
+                response.span = hit_span
                 yield qp.send(response)
-                self.requests_completed.add()
+                if hit_span is not None:
+                    hit_span.finish(nbytes=payload.size)
+                self._complete(message)
                 self.cache_hit_latency.record(self.sim.now - started)
                 return
+            if parent is not None:
+                parent.event("cache.miss")
             fill_token = self.cache.begin_fill(key)
         locations = self._block_locations.get(key)
         if not locations:
+            if parent is not None:
+                parent.event("read.not_found", outcome="failed")
             yield qp.send(message.reply("read_reply", status="not_found"))
             return
         policy = self.read_retry
@@ -473,7 +529,16 @@ class MiddleTierServer(abc.ABC):
                 or policy.deadline_expired(self.sim.now - start)
             ):
                 self.reads_unavailable.add()
-                yield qp.send(message.reply("read_reply", status="unavailable"))
+                unavail_span = None
+                if parent is not None:
+                    unavail_span = parent.child(
+                        "read.unavailable", attempts=attempts, **policy.describe()
+                    )
+                response = message.reply("read_reply", status="unavailable")
+                response.span = unavail_span
+                yield qp.send(response)
+                if unavail_span is not None:
+                    unavail_span.finish("failed")
                 return
             attempts += 1
             backoff = policy.backoff_before(attempts, token)
@@ -488,28 +553,46 @@ class MiddleTierServer(abc.ABC):
                 header_size=message.header_size,
                 header={"chunk_id": key[0], "block_id": key[1]},
             )
+            attempt_span = None
+            if parent is not None:
+                attempt_span = parent.child("read.attempt", server=address, attempt=attempts)
+                fetch.span = attempt_span
             reply_event = matcher.expect(fetch.request_id)
             yield storage_qp.send(fetch)
             deadline = self.sim.timeout(policy.timeout_for(attempts, self.sim.now - start))
             yield AnyOf(self.sim, [reply_event, deadline])
             if reply_event.triggered:
                 stored = reply_event.value
+                if attempt_span is not None:
+                    attempt_span.finish("ok", nbytes=stored.payload_size)
             else:
                 matcher.forget(fetch.request_id)
                 self.read_failovers.add()
+                if attempt_span is not None:
+                    attempt_span.finish(
+                        "retried", timeout=policy.timeout_for(attempts, self.sim.now - start)
+                    )
         if stored.kind != "storage_read_reply" or stored.payload is None:
+            if parent is not None:
+                parent.event("read.not_found", outcome="failed")
             yield qp.send(message.reply("read_reply", status="not_found"))
             return
         payload = stored.payload
         if self.cache is not None and fill_token is not None:
             # Admission decision on the fetched (still compressed) block.
-            self.cache.offer(key, payload, fill_token)
+            admitted = self.cache.offer(key, payload, fill_token)
+            if parent is not None:
+                parent.event("cache.fill", admitted=admitted)
         if payload.is_compressed:
+            dec_span = None if parent is None else parent.child("decompress")
             yield from self._decompress_cost(worker_index, payload)
             payload = decompress_payload(payload)
+            if dec_span is not None:
+                dec_span.finish(nbytes=payload.size)
         response = message.reply("read_reply", status="ok")
         response.payload = payload
+        response.span = parent
         yield qp.send(response)
-        self.requests_completed.add()
+        self._complete(message)
         if self.cache is not None:
             self.cache_miss_latency.record(self.sim.now - started)

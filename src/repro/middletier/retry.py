@@ -132,3 +132,16 @@ class RetryPolicy:
     def remaining(self, elapsed: float) -> float:
         """Deadline budget left after `elapsed` seconds (``inf`` if unbounded)."""
         return max(0.0, self.deadline - elapsed)
+
+    def describe(self) -> dict:
+        """The policy knobs as span/report attributes (JSON-safe).
+
+        Attached to give-up spans (e.g. ``read.unavailable``) so a
+        degraded request's trace shows *which budget* ran out without
+        cross-referencing the platform spec.
+        """
+        return {
+            "max_attempts": self.max_attempts,
+            "attempt_timeout": self.attempt_timeout,
+            "deadline": None if math.isinf(self.deadline) else self.deadline,
+        }

@@ -110,6 +110,11 @@ class Message:
     #: Optional flow id for byte-conservation audits: transfers charged
     #: for this message are tagged with it (see repro.sim.debug.FlowLedger).
     flow: str | None = None
+    #: Causal trace context (a repro.telemetry.spans.Span), or None when
+    #: the request is untraced — the common case. Datapath stages open
+    #: children off it; replies are not auto-propagated, call sites set
+    #: it explicitly.
+    span: typing.Any = None
 
     def __post_init__(self) -> None:
         if self.header_size < 0:

@@ -24,6 +24,7 @@ from repro.params import NetworkSpec
 from repro.sim.events import Event, SimulationError
 from repro.sim.resources import Store
 from repro.telemetry.metrics import Counter
+from repro.telemetry.registry import registry_for
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.debug import FaultPlan
@@ -101,6 +102,13 @@ class QueuePair:
         wire_bytes = message.size + spec.roce_overhead_bytes
         sequence = self._next_tx_seq
         self._next_tx_seq += 1
+        if message.span is not None:
+            # Downstream stages (receive datapath, server handling) hang
+            # off the transport span, keeping the trace tree causal.
+            message.span = message.span.child(
+                f"net.{message.kind}", src=message.src, dst=message.dst
+            )
+        lost_frames = 0
         yield from self.endpoint.datapath.egress(message, self)
         while True:
             yield self.endpoint.port.tx.transfer(wire_bytes, flow=message.flow)
@@ -114,6 +122,7 @@ class QueuePair:
                 if message.flow is not None:
                     self.endpoint.port.tx.account("dropped", message.flow, wire_bytes)
                 self.endpoint.retransmissions.add()
+                lost_frames += 1
                 yield self.sim.timeout(spec.retransmit_timeout)
                 continue
             yield self.remote.port.rx.transfer(wire_bytes, flow=message.flow)
@@ -130,6 +139,12 @@ class QueuePair:
             peer._rx_waiters[sequence] = gate
             yield gate
         consumed = yield from self.remote.datapath.ingress(message, peer)
+        if message.span is not None:
+            message.span.finish(
+                "retried" if lost_frames else "ok",
+                nbytes=wire_bytes,
+                retransmits=lost_frames,
+            )
         if not consumed:
             peer._recv_buffer.put(message)
         peer._rx_next += 1
@@ -168,6 +183,9 @@ class RoceEndpoint:
         self.spec = spec or NetworkSpec()
         self.queue_pairs: list[QueuePair] = []
         self.retransmissions = Counter(f"{address}.retransmissions")
+        registry = registry_for(sim)
+        if registry is not None:
+            registry.register_instance(self.retransmissions, "net.retransmissions", address=address)
         self._loss_rng = random.Random(loss_seed) if self.spec.loss_rate > 0 else None
         #: Deterministic fault schedule (repro.sim.debug.FaultPlan);
         #: loss bursts here compose with the spec's steady loss_rate.

@@ -22,7 +22,7 @@ from repro.sim.debug import (
     InvariantViolation,
 )
 from repro.sim.events import AllOf, AnyOf, Event, SimulationError, Timeout
-from repro.sim.kernel import Simulator, live_simulators
+from repro.sim.kernel import Simulator, add_sim_hook, live_simulators, remove_sim_hook
 from repro.sim.process import Process
 from repro.sim.resources import Resource, Store
 from repro.sim.trace import Tracer
@@ -47,6 +47,8 @@ __all__ = [
     "Store",
     "Timeout",
     "Tracer",
+    "add_sim_hook",
     "live_simulators",
+    "remove_sim_hook",
     "water_fill",
 ]

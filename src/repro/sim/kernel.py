@@ -21,10 +21,30 @@ from repro.sim.process import Process
 #: without threading the instance through every call site.
 _live_simulators: "weakref.WeakSet[Simulator]" = weakref.WeakSet()
 
+#: Hooks invoked with each newly constructed Simulator. Installed by
+#: observability sessions (repro.telemetry.spans.TraceSession) to attach
+#: span collectors / metric registries to every simulator an experiment
+#: creates, without threading a collector through every run() signature.
+_sim_hooks: list[typing.Callable[["Simulator"], None]] = []
+
 
 def live_simulators() -> tuple["Simulator", ...]:
     """Snapshot of all simulators currently alive in this interpreter."""
     return tuple(_live_simulators)
+
+
+def add_sim_hook(hook: typing.Callable[["Simulator"], None]) -> None:
+    """Call `hook(sim)` for every :class:`Simulator` constructed from now on."""
+    if hook not in _sim_hooks:
+        _sim_hooks.append(hook)
+
+
+def remove_sim_hook(hook: typing.Callable[["Simulator"], None]) -> None:
+    """Stop calling `hook` for new simulators (no-op if not installed)."""
+    try:
+        _sim_hooks.remove(hook)
+    except ValueError:
+        pass
 
 
 class Simulator:
@@ -45,7 +65,14 @@ class Simulator:
         # "store", "process", "ledger"). Consumed by repro.sim.debug's
         # DrainAuditor; model code never reads these.
         self._tracked: dict[str, weakref.WeakSet] = {}
+        # Observability attach points (see repro.telemetry.spans and
+        # .registry): None means untraced, the common case — every
+        # instrumentation site guards on that before doing any work.
+        self._span_collector: typing.Any = None
+        self._metrics_registry: typing.Any = None
         _live_simulators.add(self)
+        for hook in _sim_hooks:
+            hook(self)
 
     @property
     def now(self) -> float:

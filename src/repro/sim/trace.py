@@ -45,6 +45,9 @@ class Tracer:
         sim._tracers.append(self)
 
     def _record(self, when: float, event: "Event") -> None:
+        # _active is authoritative: even if a stopped tracer is somehow
+        # still (or again) in sim._tracers, it records nothing until
+        # start() re-arms it.
         if not self._active:
             return
         name = event.name or type(event).__name__
@@ -54,10 +57,20 @@ class Tracer:
         self.records.append((when, name))
 
     def stop(self) -> None:
-        """Detach from the simulator; records stay readable."""
+        """Detach from the simulator; records stay readable. Idempotent."""
         self._active = False
         if self in self.sim._tracers:
             self.sim._tracers.remove(self)
+
+    def start(self) -> None:
+        """Re-attach after :meth:`stop` and resume recording. Idempotent.
+
+        Existing records are kept — a stop/start cycle leaves a gap in
+        the trace rather than clearing it.
+        """
+        self._active = True
+        if self not in self.sim._tracers:
+            self.sim._tracers.append(self)
 
     def between(self, start: float, end: float) -> list[tuple[float, str]]:
         """Records whose timestamp falls in [start, end]."""

@@ -18,6 +18,7 @@ from repro.params import NetworkSpec
 from repro.storage.blockdev import BlockDevice
 from repro.storage.chunkstore import ChunkStore
 from repro.telemetry.metrics import Counter
+from repro.telemetry.registry import registry_for
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.kernel import Simulator
@@ -50,6 +51,12 @@ class StorageServer:
         #: Payload bytes shipped back by reads — the backend-traffic
         #: figure the hot-block cache experiments compare against.
         self.read_bytes_served = Counter(f"{address}.read-bytes")
+        registry = registry_for(sim)
+        if registry is not None:
+            labels = dict(component="storage", address=address)
+            registry.register_instance(self.writes_served, "storage.writes_served", **labels)
+            registry.register_instance(self.reads_served, "storage.reads_served", **labels)
+            registry.register_instance(self.read_bytes_served, "storage.read_bytes_served", **labels)
 
     def serve(self, qp: QueuePair) -> None:
         """Start a service loop on one connection (call once per QP)."""
@@ -91,8 +98,13 @@ class StorageServer:
         payload = message.payload
         if payload is None:
             raise ValueError("storage_write without a payload")
+        span = None
+        if message.span is not None:
+            span = message.span.child("storage.write", server=self.address)
         yield self.device.write(payload.size)
         if self.failed:
+            if span is not None:
+                span.finish("failed", reason="server-crashed")
             return
         record = self.store.append(
             chunk_id=message.header.get("chunk_id", 0),
@@ -107,7 +119,10 @@ class StorageServer:
         )
         self.writes_served.add()
         ack = message.reply("storage_ack", location=record.location, server=self.address)
+        ack.span = span
         yield qp.send(ack)
+        if span is not None:
+            span.finish("ok", nbytes=payload.size)
 
     def _serve_gc(self, qp: QueuePair, message: Message) -> typing.Generator:
         """Mark superseded locations dead and garbage-collect a chunk.
@@ -141,13 +156,20 @@ class StorageServer:
     def _serve_read(self, qp: QueuePair, message: Message) -> typing.Generator:
         chunk_id = message.header.get("chunk_id", 0)
         block_id = message.header["block_id"]
+        span = None
+        if message.span is not None:
+            span = message.span.child("storage.read", server=self.address)
         record = self.store.latest(chunk_id, block_id)
         if record is None:
+            if span is not None:
+                span.finish("failed", reason="miss")
             reply = message.reply("storage_read_miss", block_id=block_id)
             yield qp.send(reply)
             return
         yield self.device.read(record.size)
         if self.failed:
+            if span is not None:
+                span.finish("failed", reason="server-crashed")
             return
         self.reads_served.add()
         self.read_bytes_served.add(record.size)
@@ -161,4 +183,7 @@ class StorageServer:
         )
         reply = message.reply("storage_read_reply", block_id=block_id)
         reply.payload = payload
+        reply.span = span
         yield qp.send(reply)
+        if span is not None:
+            span.finish("ok", nbytes=record.size)

@@ -6,14 +6,23 @@ observables from a simulation run and format them as the paper's tables
 and series.
 """
 
-from repro.telemetry.metrics import BandwidthMeter, Counter, LatencyRecorder
+from repro.telemetry.metrics import BandwidthMeter, Counter, Gauge, LatencyRecorder
+from repro.telemetry.registry import Histogram, MetricsRegistry, registry_for
 from repro.telemetry.reporting import Series, format_series, format_table
+from repro.telemetry.spans import Span, SpanCollector, TraceSession
 
 __all__ = [
     "BandwidthMeter",
     "Counter",
+    "Gauge",
+    "Histogram",
     "LatencyRecorder",
+    "MetricsRegistry",
     "Series",
+    "Span",
+    "SpanCollector",
+    "TraceSession",
     "format_series",
     "format_table",
+    "registry_for",
 ]

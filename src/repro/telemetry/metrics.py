@@ -9,6 +9,7 @@ matching how tail latency is usually reported.
 from __future__ import annotations
 
 import math
+import random
 import typing
 
 
@@ -68,35 +69,68 @@ def ratio(numerator: float, denominator: float) -> float:
 
 
 class LatencyRecorder:
-    """Collects latency samples and reports avg / percentile statistics."""
+    """Collects latency samples and reports avg / percentile statistics.
 
-    def __init__(self, name: str = "latency") -> None:
+    By default every sample is retained exactly. For long runs where
+    per-sample memory matters, pass ``reservoir=k`` to keep a uniform
+    random sample of at most `k` values (Vitter's Algorithm R, seeded —
+    the same run always keeps the same samples). Count and mean stay
+    exact in reservoir mode; percentiles are estimates over the kept
+    sample.
+    """
+
+    def __init__(self, name: str = "latency", reservoir: int | None = None, seed: int = 0) -> None:
+        if reservoir is not None and reservoir < 1:
+            raise ValueError(f"reservoir size must be >= 1, got {reservoir!r}")
         self.name = name
+        self.reservoir = reservoir
+        self._rng = random.Random(seed) if reservoir is not None else None
         self._samples: list[float] = []
         self._sorted: list[float] | None = None
+        self._count = 0
+        self._sum = 0.0
+        self._compensation = 0.0  # Kahan term: mean stays exact in reservoir mode
 
     def record(self, latency: float) -> None:
         """Add one latency sample in seconds."""
         if latency < 0:
             raise ValueError(f"negative latency {latency!r}")
-        self._samples.append(latency)
+        self._count += 1
+        # Kahan-compensated sum so reservoir mode matches exact mode's
+        # fsum()-grade mean even when samples are discarded.
+        adjusted = latency - self._compensation
+        total = self._sum + adjusted
+        self._compensation = (total - self._sum) - adjusted
+        self._sum = total
+        if self.reservoir is None or len(self._samples) < self.reservoir:
+            self._samples.append(latency)
+        else:
+            # Algorithm R: the i-th sample replaces a kept one with
+            # probability k/i, giving a uniform sample over all arrivals.
+            slot = typing.cast(random.Random, self._rng).randrange(self._count)
+            if slot < self.reservoir:
+                self._samples[slot] = latency
+            else:
+                return  # not kept; sorted cache still valid
         self._sorted = None
 
     @property
     def count(self) -> int:
-        """Number of recorded samples."""
-        return len(self._samples)
+        """Number of recorded samples (exact, even in reservoir mode)."""
+        return self._count
 
     @property
     def samples(self) -> tuple[float, ...]:
-        """All recorded samples, in arrival order."""
+        """The retained samples (all of them in exact mode)."""
         return tuple(self._samples)
 
     def mean(self) -> float:
-        """Average latency; raises on an empty recorder."""
-        if not self._samples:
+        """Average latency over *all* samples; raises on an empty recorder."""
+        if not self._count:
             raise ValueError(f"no samples recorded in {self.name!r}")
-        return math.fsum(self._samples) / len(self._samples)
+        if self.reservoir is None:
+            return math.fsum(self._samples) / self._count
+        return self._sum / self._count
 
     def percentile(self, fraction: float) -> float:
         """Nearest-rank percentile, e.g. ``percentile(0.99)`` for p99."""
@@ -172,16 +206,25 @@ class BandwidthMeter:
     def rate(self, duration: float | None = None) -> float:
         """Achieved bytes/second over `duration` (default: first-to-last event).
 
-        Returns 0.0 when nothing was recorded or the span is empty.
+        Pass the enclosing measurement window as `duration` whenever you
+        have one: the implicit first-to-last span is 0 for a
+        single-event run, which silently reports 0.0 despite bytes
+        recorded. With an explicit `duration` the recorded bytes are
+        always spread over that window — a non-positive window is a
+        caller bug and raises instead of returning 0.0.
         """
+        if duration is not None and duration <= 0:
+            raise ValueError(
+                f"meter {self.name!r}: measurement window must be positive, got {duration!r}"
+            )
         if self.total_bytes == 0:
             return 0.0
         if duration is None:
             if self.first_event is None or self.last_event is None:
                 return 0.0
             duration = self.last_event - self.first_event
-        if duration <= 0:
-            return 0.0
+            if duration <= 0:
+                return 0.0
         return self.total_bytes / duration
 
     def __repr__(self) -> str:

@@ -339,13 +339,34 @@ class ClientDriver:
         return self.sim.process(self._collect(streams, n_requests), name=f"{self.address}.run")
 
     def _stream(self, n_requests: int) -> typing.Generator:
+        collector = self.sim._span_collector
         for _ in range(n_requests):
             message = self.factory.make()
+            root = tx = None
+            if collector is not None:
+                root = collector.request(
+                    message.kind,
+                    message.request_id,
+                    vm=self.factory.vm_id,
+                    lba=message.header.get("block_id"),
+                )
+                # The transport reassigns message.span to its own child,
+                # so hold the tx span locally to finish it.
+                tx = message.span = root.child("client.tx")
             reply_event = self.sim.event(name=f"reply:{message.request_id}")
             self._reply_events[message.request_id] = reply_event
             start = self.sim.now
             yield self.qp.send(message)
-            yield reply_event
+            if tx is not None:
+                tx.finish(nbytes=message.size)
+            reply = yield reply_event
+            if root is not None:
+                status = reply.header.get("status", "ok")
+                root.finish(
+                    "ok" if status == "ok" else "failed",
+                    nbytes=reply.payload_size,
+                    status=status,
+                )
             self._samples.append((start, self.sim.now, message.payload_size))
 
     def _collect(self, streams: list, n_requests: int) -> typing.Generator:
@@ -370,15 +391,31 @@ class ClientDriver:
         failures: list[tuple[int, str]] = []
         shards = [lbas[i::concurrency] for i in range(concurrency)]
 
+        collector = self.sim._span_collector
+
         def stream(shard):
             for lba in shard:
                 message = self.factory.make_read(lba)
+                root = tx = None
+                if collector is not None:
+                    root = collector.request(
+                        message.kind, message.request_id, vm=self.factory.vm_id, lba=lba
+                    )
+                    tx = message.span = root.child("client.tx")
                 reply_event = self.sim.event()
                 self._reply_events[message.request_id] = reply_event
                 start = self.sim.now
                 yield self.qp.send(message)
+                if tx is not None:
+                    tx.finish(nbytes=message.size)
                 reply = yield reply_event
                 status = reply.header.get("status", "ok")
+                if root is not None:
+                    root.finish(
+                        "ok" if status == "ok" else "failed",
+                        nbytes=reply.payload_size,
+                        status=status,
+                    )
                 if status != "ok":
                     failures.append((lba, status))
                 samples.append((start, self.sim.now, reply.payload_size))

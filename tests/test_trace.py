@@ -72,6 +72,40 @@ class TestTracer:
         with pytest.raises(ValueError):
             Tracer(Simulator(), limit=0)
 
+    def test_stopped_tracer_in_list_records_nothing(self):
+        # _active is authoritative: even re-appended by hand, a stopped
+        # tracer must stay silent until start() re-arms it.
+        sim = Simulator()
+        tracer = Tracer(sim)
+        tracer.stop()
+        sim._tracers.append(tracer)
+        run_small_sim(sim)
+        assert tracer.events_seen == 0
+
+    def test_start_resumes_with_a_gap(self):
+        sim = Simulator()
+        tracer = Tracer(sim)
+        run_small_sim(sim)
+        seen_before = tracer.events_seen
+        assert seen_before > 0
+        tracer.stop()
+        run_small_sim(sim)
+        assert tracer.events_seen == seen_before  # silent while stopped
+        tracer.start()
+        assert sim._tracers == [tracer]
+        run_small_sim(sim)
+        assert tracer.events_seen > seen_before  # resumed, records kept
+
+    def test_stop_and_start_are_idempotent(self):
+        sim = Simulator()
+        tracer = Tracer(sim)
+        tracer.stop()
+        tracer.stop()
+        assert sim._tracers == []
+        tracer.start()
+        tracer.start()
+        assert sim._tracers == [tracer]
+
     def test_no_tracer_zero_overhead_path(self):
         # Just exercises the untraced fast path for completeness.
         sim = Simulator()
