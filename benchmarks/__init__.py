@@ -1,0 +1,1 @@
+"""Benchmark suites for the SmartDS reproduction (not collected by tier-1 tests)."""

@@ -1,0 +1,115 @@
+"""Pre-PR (seed) implementations benchmarked as the in-file baseline.
+
+``BENCH_*.json`` records each hot-path benchmark twice — once against the
+current implementation and once against the verbatim seed implementation
+kept here — so every report carries its own baseline and the speedup
+ratios stay comparable across machines. These copies are frozen on
+purpose; do not "fix" them.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.compression.lz4 import (
+    LAST_LITERALS,
+    MAX_OFFSET,
+    MF_LIMIT,
+    MIN_MATCH,
+    _emit_sequence,
+)
+from repro.sim.events import Event, SimulationError
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import Simulator
+
+
+class LegacyRequest(Event):
+    """Seed `Request`: pending claim on a :class:`LegacyResource` slot."""
+
+    def __init__(self, resource: "LegacyResource", priority: int) -> None:
+        super().__init__(resource.sim, name=f"request:{resource.name}")
+        self.resource = resource
+        self.priority = priority
+
+
+class LegacyResource:
+    """The seed `Resource`: sorted-list waiter queue.
+
+    ``request()`` does a linear stable insert by priority and
+    ``release()`` does ``list.pop(0)`` — both O(n) in queue depth, the
+    quadratic behavior the heap-backed replacement removed.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int, name: str = "resource") -> None:
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiting: list[LegacyRequest] = []
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiting)
+
+    def request(self, priority: int = 0) -> LegacyRequest:
+        req = LegacyRequest(self, priority)
+        if self._in_use < self.capacity and not self._waiting:
+            self._in_use += 1
+            req.succeed(req)
+        else:
+            index = len(self._waiting)
+            while index > 0 and self._waiting[index - 1].priority > priority:
+                index -= 1
+            self._waiting.insert(index, req)
+        return req
+
+    def release(self, request: LegacyRequest) -> None:
+        if not request.triggered:
+            self._waiting.remove(request)
+            return
+        if self._in_use <= 0:
+            raise SimulationError(f"release() on idle resource {self.name!r}")
+        self._in_use -= 1
+        if self._waiting:
+            nxt = self._waiting.pop(0)
+            self._in_use += 1
+            nxt.succeed(nxt)
+
+
+def legacy_lz4_compress(data: bytes) -> bytes:
+    """The seed `lz4_compress`: per-position ``bytes`` keys in an unbounded dict."""
+    src = memoryview(bytes(data))
+    n = len(src)
+    out = bytearray()
+    if n == 0:
+        out.append(0)
+        return bytes(out)
+
+    match_scan_end = n - MF_LIMIT
+    table: dict[bytes, int] = {}
+    anchor = 0
+    i = 0
+    raw = src.obj
+
+    while i < match_scan_end:
+        key = raw[i : i + MIN_MATCH]
+        candidate = table.get(key)
+        table[key] = i
+        if candidate is None or i - candidate > MAX_OFFSET:
+            i += 1
+            continue
+
+        match_len = MIN_MATCH
+        max_match = (n - LAST_LITERALS) - i
+        while match_len < max_match and raw[candidate + match_len] == raw[i + match_len]:
+            match_len += 1
+
+        _emit_sequence(out, src[anchor:i], offset=i - candidate, match_extra=match_len - MIN_MATCH)
+        i += match_len
+        anchor = i
+
+    _emit_sequence(out, src[anchor:n], offset=None, match_extra=0)
+    return bytes(out)

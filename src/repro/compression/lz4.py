@@ -13,9 +13,16 @@ This codec is used for *functional* fidelity (real bytes really get
 compressed and restored along the simulated datapath) and to calibrate
 the corpus compression ratios; simulated compression *speed* comes from
 :mod:`repro.compression.model`.
+
+The compressor's match table is a fixed-size position array like
+reference LZ4's (see :data:`HASH_LOG`), with window hashes computed in
+one vectorized numpy pass — see ``benchmarks/perf`` and
+``docs/performance.md`` for the measured profile.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 #: Minimum match length the format can encode.
 MIN_MATCH = 4
@@ -25,6 +32,25 @@ MF_LIMIT = 12
 LAST_LITERALS = 5
 #: Maximum distance a match offset can reach back.
 MAX_OFFSET = 0xFFFF
+
+#: log2 of the match-table slot count. The table is a fixed-size array of
+#: ``2**HASH_LOG`` positions indexed by a multiplicative hash of the
+#: 4-byte window (reference LZ4's layout), so compressor memory no longer
+#: grows with the input — the previous implementation retained one fresh
+#: 4-byte ``bytes`` key per input position in an unbounded dict.
+HASH_LOG = 13
+
+#: After ``2**SKIP_TRIGGER`` consecutive match misses the scan starts
+#: striding (reference LZ4's skip acceleration): incompressible regions
+#: cost O(n / step) instead of a table probe per byte.
+SKIP_TRIGGER = 5
+
+#: Stride for chunked match extension: compare this many bytes per slice
+#: comparison before falling back to byte-at-a-time for the tail.
+_EXTEND_STRIDE = 32
+
+#: Fibonacci multiplicative-hash constant (reference LZ4's 2654435761).
+_HASH_MULTIPLIER = np.uint32(2654435761)
 
 
 class CorruptFrameError(ValueError):
@@ -62,43 +88,121 @@ def _emit_sequence(
             _write_lsic(out, match_extra - 15)
 
 
-def lz4_compress(data: bytes) -> bytes:
+def lz4_compress(
+    data: bytes,
+    *,
+    _hash_log: int = HASH_LOG,
+    _stats: dict | None = None,
+) -> bytes:
     """Compress `data` into an LZ4 block.
 
     Round-trips through :func:`lz4_decompress` for arbitrary input. Like
     the reference implementation, incompressible input grows slightly
     (one token plus LSIC bytes of overhead).
+
+    The matcher is reference LZ4's greedy scan, restructured for CPython:
+
+    - Window hashes for every position are computed up front in one
+      vectorized numpy pass (4-byte little-endian windows times the
+      Fibonacci constant), so the scan loop never does per-position
+      arithmetic or allocates per-position ``bytes`` keys.
+    - The match table is a fixed array of ``2**_hash_log`` positions,
+      overwritten in place — peak size is independent of input length.
+      A hash hit is verified with one 4-byte compare (collisions lose a
+      match, never correctness).
+    - Misses accelerate: after ``2**SKIP_TRIGGER`` consecutive misses the
+      scan strides ahead ever faster, so low-redundancy input (random,
+      encrypted, already-compressed blocks) costs far less than a probe
+      per byte.
+    - Match extension compares :data:`_EXTEND_STRIDE`-byte chunks before
+      finishing byte-wise.
+
+    `_stats`, when given a dict, receives ``table_slots`` and
+    ``peak_table_entries`` (test/diagnostic hook; zero hot-path cost) —
+    both are at most ``2**_hash_log`` for any input size.
     """
     src = memoryview(bytes(data))
     n = len(src)
     out = bytearray()
     if n == 0:
+        if _stats is not None:
+            _stats.update(table_slots=0, peak_table_entries=0)
         out.append(0)  # empty literal run, no match
         return bytes(out)
 
     match_scan_end = n - MF_LIMIT
-    table: dict[bytes, int] = {}
     anchor = 0
     i = 0
-    raw = src.obj  # the underlying bytes, for fast slicing
+    raw = src.obj  # the underlying bytes, for fast indexing/slicing
+    last_match_start = n - LAST_LITERALS
+    stride = _EXTEND_STRIDE
 
-    while i < match_scan_end:
-        key = raw[i : i + MIN_MATCH]
-        candidate = table.get(key)
-        table[key] = i
-        if candidate is None or i - candidate > MAX_OFFSET:
-            i += 1
-            continue
+    if match_scan_end > 0:
+        # One vectorized pass: hash of the 4-byte window at every position,
+        # packed little-endian into a u16 buffer the scan loop indexes.
+        windows = np.ndarray(buffer=raw, shape=(n - 3,), dtype="<u4", strides=(1,))
+        hashes = memoryview(
+            ((windows * _HASH_MULTIPLIER) >> np.uint32(32 - _hash_log))
+            .astype("<u2")
+            .tobytes()
+        ).cast("H")
+        table = [-1] * (1 << _hash_log)
+        search_count = 1 << SKIP_TRIGGER
+        # Inputs that fit inside the offset window never need the
+        # distance check in the hot loop.
+        small = n <= MAX_OFFSET + MIN_MATCH
+        append = out.append
 
-        # Extend the match forward, leaving LAST_LITERALS bytes untouched.
-        match_len = MIN_MATCH
-        max_match = (n - LAST_LITERALS) - i
-        while match_len < max_match and raw[candidate + match_len] == raw[i + match_len]:
-            match_len += 1
+        while i < match_scan_end:
+            h = hashes[i]
+            candidate = table[h]
+            table[h] = i
+            if (
+                candidate < 0
+                or raw[candidate : candidate + 4] != raw[i : i + 4]
+                or (not small and i - candidate > MAX_OFFSET)
+            ):
+                # Miss: advance, striding faster the longer nothing matches.
+                step = search_count >> SKIP_TRIGGER
+                search_count += 1
+                i += step
+                continue
+            search_count = 1 << SKIP_TRIGGER
 
-        _emit_sequence(out, src[anchor:i], offset=i - candidate, match_extra=match_len - MIN_MATCH)
-        i += match_len
-        anchor = i
+            # Extend the match forward, leaving LAST_LITERALS bytes untouched.
+            match_len = MIN_MATCH
+            max_match = last_match_start - i
+            while (
+                match_len + stride <= max_match
+                and raw[candidate + match_len : candidate + match_len + stride]
+                == raw[i + match_len : i + match_len + stride]
+            ):
+                match_len += stride
+            while match_len < max_match and raw[candidate + match_len] == raw[i + match_len]:
+                match_len += 1
+
+            lit_len = i - anchor
+            extra = match_len - MIN_MATCH
+            offset = i - candidate
+            if lit_len < 15 and extra < 15:
+                # Common case inlined: one token, literals, 2-byte offset.
+                append(lit_len << 4 | extra)
+                out += raw[anchor:i]
+                append(offset & 0xFF)
+                append(offset >> 8)
+            else:
+                _emit_sequence(out, src[anchor:i], offset=offset, match_extra=extra)
+            i += match_len
+            anchor = i
+
+        if _stats is not None:
+            slots = 1 << _hash_log
+            _stats.update(
+                table_slots=slots,
+                peak_table_entries=slots - table.count(-1),
+            )
+    elif _stats is not None:
+        _stats.update(table_slots=0, peak_table_entries=0)
 
     _emit_sequence(out, src[anchor:n], offset=None, match_extra=0)
     return bytes(out)

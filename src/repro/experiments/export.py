@@ -54,6 +54,25 @@ def dump_results(results: typing.Sequence[ExperimentResult], path: str) -> None:
         json.dump(document, handle, indent=2, sort_keys=True)
 
 
+def dump_bench(document: dict, path: str) -> None:
+    """Write a validated ``BENCH_*.json`` benchmark document to `path`.
+
+    Validation lives with the harness (``benchmarks.perf.schema``), which
+    must be importable — i.e. run from the repository root, where the
+    ``benchmarks`` package sits next to ``src``.
+    """
+    try:
+        from benchmarks.perf.schema import validate_bench
+    except ImportError as exc:  # pragma: no cover - depends on cwd
+        raise RuntimeError(
+            "the benchmarks package is not importable; run from the repository "
+            "root (where benchmarks/ lives) to use --bench"
+        ) from exc
+    validate_bench(document)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+
+
 def metrics_to_dict(registries: typing.Sequence[typing.Any]) -> dict:
     """Flat dump of every registry a :class:`TraceSession` collected.
 

@@ -153,7 +153,7 @@ class DrainAuditor:
                         detail=f"{resource.in_use}/{resource.capacity} slot(s) still granted",
                     )
                 )
-            for request in resource._waiting:
+            for request in resource.waiting_requests():
                 if _only_daemons(request):
                     continue
                 report.findings.append(

@@ -5,6 +5,12 @@ Processes wait on events by ``yield``-ing them; the kernel resumes the
 process when the event fires. Events either *succeed* with a value or
 *fail* with an exception (which is re-raised inside every waiting
 process).
+
+Events are hot-path objects — a run creates one per timeout, queue
+operation, and resource grant — so the class is slotted and display
+names are computed lazily: constructors store raw parts and the
+:attr:`Event.name` property renders them only when diagnostics
+(tracers, the drain auditor, ``repr``) actually read the name.
 """
 
 from __future__ import annotations
@@ -31,13 +37,24 @@ class Event:
     resumes the process immediately on the next kernel step.
     """
 
+    __slots__ = ("sim", "_name", "callbacks", "_value", "_ok", "_defused", "__weakref__")
+
     def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
-        self.name = name
+        self._name = name
         self.callbacks: list[typing.Callable[[Event], None]] = []
         self._value: typing.Any = _PENDING
         self._ok = True
         self._defused = False
+
+    @property
+    def name(self) -> str:
+        """Display name; subclasses may render it lazily."""
+        return self._name
+
+    @name.setter
+    def name(self, value: str) -> None:
+        self._name = value
 
     @property
     def triggered(self) -> bool:
@@ -63,7 +80,7 @@ class Event:
 
     def succeed(self, value: typing.Any = None, delay: float = 0.0) -> "Event":
         """Trigger the event successfully with `value` after `delay`."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
@@ -74,7 +91,7 @@ class Event:
         """Trigger the event as failed; waiters see `exception` raised."""
         if not isinstance(exception, BaseException):
             raise SimulationError(f"fail() needs an exception, got {exception!r}")
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = False
         self._value = exception
@@ -94,17 +111,35 @@ class Event:
 class Timeout(Event):
     """An event that fires after a fixed simulated delay."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, sim: "Simulator", delay: float, value: typing.Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay!r}")
-        super().__init__(sim, name=f"timeout({delay:g})")
-        self._ok = True
+        # Inline the Event constructor: timeouts are the single most
+        # frequent event, and the name is rendered lazily on demand.
+        self.sim = sim
+        self._name = ""
+        self.callbacks = []
         self._value = value
+        self._ok = True
+        self._defused = False
+        self.delay = delay
         sim._schedule(self, delay)
+
+    @property
+    def name(self) -> str:
+        return self._name or f"timeout({self.delay:g})"
+
+    @name.setter
+    def name(self, value: str) -> None:
+        self._name = value
 
 
 class _Condition(Event):
     """Shared machinery for :class:`AllOf` / :class:`AnyOf`."""
+
+    __slots__ = ("_events", "_done")
 
     def __init__(self, sim: "Simulator", events: typing.Sequence[Event]) -> None:
         super().__init__(sim, name=type(self).__name__)
@@ -148,12 +183,16 @@ class _Condition(Event):
 class AllOf(_Condition):
     """Fires when every constituent event has been processed (fails fast on failure)."""
 
+    __slots__ = ()
+
     def _satisfied(self) -> bool:
         return self._done >= len(self._events)
 
 
 class AnyOf(_Condition):
     """Fires as soon as any constituent event has been processed."""
+
+    __slots__ = ()
 
     def _satisfied(self) -> bool:
         return self._done >= 1 or not self._events

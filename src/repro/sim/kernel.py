@@ -8,9 +8,9 @@ world with :meth:`Simulator.run`.
 
 from __future__ import annotations
 
-import heapq
 import typing
 import weakref
+from heapq import heappop, heappush
 from itertools import count
 
 from repro.sim.events import AllOf, AnyOf, Event, SimulationError, Timeout
@@ -59,6 +59,7 @@ class Simulator:
         self._now = 0.0
         self._queue: list[tuple[float, int, Event]] = []
         self._sequence = count()
+        self._steps = 0
         self._unhandled: list[BaseException] = []
         self._tracers: list[typing.Any] = []  # see repro.sim.trace
         # Weak registries of model objects, per category ("resource",
@@ -78,6 +79,11 @@ class Simulator:
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    @property
+    def steps(self) -> int:
+        """Number of events processed so far (the perf harness reads this)."""
+        return self._steps
 
     # -- event factories -------------------------------------------------
 
@@ -111,7 +117,7 @@ class Simulator:
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
         if delay < 0:
             raise SimulationError(f"cannot schedule {event!r} in the past (delay={delay!r})")
-        heapq.heappush(self._queue, (self._now + delay, next(self._sequence), event))
+        heappush(self._queue, (self._now + delay, next(self._sequence), event))
 
     def _report_unhandled(self, exc: BaseException) -> None:
         self._unhandled.append(exc)
@@ -132,17 +138,18 @@ class Simulator:
         """Process the single next event; raises if the queue is empty."""
         if not self._queue:
             raise SimulationError("step() on an empty event queue")
-        when, _seq, event = heapq.heappop(self._queue)
+        when, _seq, event = heappop(self._queue)
         self._now = when
+        self._steps += 1
         if self._tracers:
             for tracer in self._tracers:
                 tracer._record(when, event)
         callbacks, event.callbacks = event.callbacks, None  # type: ignore[assignment]
         for callback in callbacks:
             callback(event)
-        if not event.ok and not event._defused:
+        if not event._ok and not event._defused:
             # A failure nobody waited on: surface it instead of losing it.
-            self._unhandled.append(typing.cast(BaseException, event.value))
+            self._unhandled.append(typing.cast(BaseException, event._value))
         if self._unhandled:
             # Several processes may fail within one step (e.g. one event
             # resumes many waiters). Raise the first but keep the others
@@ -175,13 +182,19 @@ class Simulator:
             if deadline < self._now:
                 raise SimulationError(f"deadline {deadline!r} is in the past (now={self._now!r})")
 
-        while self._queue:
-            if stop_event is not None and stop_event.processed:
-                break
-            if deadline is not None and self._queue[0][0] > deadline:
-                self._now = deadline
-                return None
-            self.step()
+        if stop_event is None and deadline is None:
+            # Drain mode: no per-step termination checks needed.
+            step = self.step
+            while self._queue:
+                step()
+        else:
+            while self._queue:
+                if stop_event is not None and stop_event.callbacks is None:  # processed
+                    break
+                if deadline is not None and self._queue[0][0] > deadline:
+                    self._now = deadline
+                    return None
+                self.step()
 
         if stop_event is not None:
             if not stop_event.triggered:

@@ -30,6 +30,8 @@ class Interrupt(Exception):
 class Process(Event):
     """An event representing a running generator; fires when it returns."""
 
+    __slots__ = ("_generator", "_waiting_on", "daemon", "_poke_name")
+
     def __init__(
         self,
         sim: "Simulator",
@@ -42,6 +44,9 @@ class Process(Event):
         super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
         self._generator = generator
         self._waiting_on: Event | None = None
+        # Poke events are created on every resume from an already-fired
+        # event; render the name once instead of per resume.
+        self._poke_name = "poke:" + self.name
         #: Daemon processes are service loops expected to outlive the
         #: workload; the drain auditor does not report them as stuck.
         self.daemon = daemon
@@ -51,7 +56,7 @@ class Process(Event):
         # Kick the process off via an immediately-succeeding event so that
         # creation order equals start order and creation itself cannot raise
         # model exceptions.
-        start = Event(sim, name=f"start:{self.name}")
+        start = Event(sim, name="start:" + self.name)
         start.callbacks.append(self._resume)
         start.succeed()
 
@@ -80,10 +85,10 @@ class Process(Event):
     def _resume(self, event: Event) -> None:
         self._waiting_on = None
         try:
-            if event.ok:
-                target = self._generator.send(event._value if event._value is not None else None)
+            if event._ok:
+                target = self._generator.send(event._value)
             else:
-                event.defuse()
+                event._defused = True
                 target = self._generator.throw(typing.cast(BaseException, event._value))
         except StopIteration as stop:
             self.succeed(stop.value)
@@ -103,11 +108,11 @@ class Process(Event):
             raise SimulationError(
                 f"process {self.name!r} yielded {target!r}; processes may only yield events"
             )
-        if target.processed:
+        if target.callbacks is None:  # processed
             # Already-fired event: resume on the next kernel step.
-            poke = Event(self.sim, name=f"poke:{self.name}")
+            poke = Event(self.sim, name=self._poke_name)
             poke.callbacks.append(self._resume)
-            if target.ok:
+            if target._ok:
                 poke.succeed(target._value)
             else:
                 poke.fail(typing.cast(BaseException, target._value))

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import typing
 from collections import deque
+from heapq import heapify, heappop, heappush
 
 from repro.sim.events import Event, SimulationError
 
@@ -23,10 +24,15 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
 class Request(Event):
     """A pending or granted claim on one slot of a :class:`Resource`."""
 
+    __slots__ = ("resource", "priority", "_entry")
+
     def __init__(self, resource: "Resource", priority: int) -> None:
-        super().__init__(resource.sim, name=f"request:{resource.name}")
+        super().__init__(resource.sim, name=resource._request_name)
         self.resource = resource
         self.priority = priority
+        # The waiter-heap entry carrying this request, or None while the
+        # request is granted / cancelled / never queued.
+        self._entry: list | None = None
 
 
 class Resource:
@@ -34,6 +40,14 @@ class Resource:
 
     Lower `priority` values are served first; equal priorities keep
     arrival order.
+
+    The waiter queue is a binary heap keyed ``(priority, seq)`` — `seq`
+    is a monotonically increasing arrival stamp, so equal priorities pop
+    in FIFO order and every enqueue/grant is O(log n) at any depth
+    (the previous sorted-list implementation paid O(n) per operation,
+    quadratic exactly in the deep-queue overload regimes). Cancelling a
+    queued request marks its heap entry dead in O(1); dead entries are
+    skipped on pop and compacted when they outnumber live waiters.
     """
 
     def __init__(self, sim: "Simulator", capacity: int, name: str = "resource") -> None:
@@ -41,9 +55,14 @@ class Resource:
             raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
         self.sim = sim
         self.name = name
+        self._request_name = "request:" + name
         self.capacity = capacity
         self._in_use = 0
-        self._waiting: list[Request] = []
+        # Heap of [priority, seq, request]; request is None for entries
+        # whose waiter cancelled (lazy deletion).
+        self._waiting: list[list] = []
+        self._n_waiting = 0
+        self._seq = 0
         track = getattr(sim, "_track", None)
         if track is not None:
             track("resource", self)
@@ -56,21 +75,26 @@ class Resource:
     @property
     def queue_length(self) -> int:
         """Number of requests waiting for a slot."""
-        return len(self._waiting)
+        return self._n_waiting
+
+    def waiting_requests(self) -> tuple[Request, ...]:
+        """Live queued requests in grant order (cancelled entries skipped)."""
+        live = [entry for entry in self._waiting if entry[2] is not None]
+        live.sort(key=lambda entry: (entry[0], entry[1]))
+        return tuple(entry[2] for entry in live)
 
     def request(self, priority: int = 0) -> Request:
         """Claim a slot; the returned event fires when the slot is granted."""
         req = Request(self, priority)
-        if self._in_use < self.capacity and not self._waiting:
+        if self._in_use < self.capacity and not self._n_waiting:
             self._in_use += 1
             req.succeed(req)
         else:
-            # Stable insert by priority: scan from the back so equal
-            # priorities keep FIFO order.
-            index = len(self._waiting)
-            while index > 0 and self._waiting[index - 1].priority > priority:
-                index -= 1
-            self._waiting.insert(index, req)
+            entry = [priority, self._seq, req]
+            self._seq += 1
+            req._entry = entry
+            heappush(self._waiting, entry)
+            self._n_waiting += 1
         return req
 
     def release(self, request: Request) -> None:
@@ -78,21 +102,36 @@ class Resource:
         if request.resource is not self:
             raise SimulationError(f"{request!r} does not belong to {self.name!r}")
         if not request.triggered:
-            # Cancelling a queued request.
-            try:
-                self._waiting.remove(request)
-            except ValueError:
+            # Cancelling a queued request: mark its heap entry dead.
+            entry = request._entry
+            if entry is None or entry[2] is not request:
                 raise SimulationError(
                     f"{request!r} is not queued on {self.name!r} (already cancelled?)"
-                ) from None
+                )
+            entry[2] = None
+            request._entry = None
+            self._n_waiting -= 1
+            if self._n_waiting == 0:
+                self._waiting.clear()
+            elif len(self._waiting) > 2 * self._n_waiting + 16:
+                self._waiting = [e for e in self._waiting if e[2] is not None]
+                heapify(self._waiting)
             return
         if self._in_use <= 0:
             raise SimulationError(f"release() on idle resource {self.name!r}")
         self._in_use -= 1
-        if self._waiting:
-            nxt = self._waiting.pop(0)
+        if self._n_waiting:
+            waiting = self._waiting
+            while True:
+                nxt = heappop(waiting)[2]
+                if nxt is not None:
+                    break
+            nxt._entry = None
+            self._n_waiting -= 1
             self._in_use += 1
             nxt.succeed(nxt)
+        elif self._waiting:
+            self._waiting.clear()  # only dead entries remained
 
     def use(self, hold_time: float, priority: int = 0) -> typing.Generator:
         """Process body: acquire a slot, hold it `hold_time`, release it."""
@@ -106,7 +145,7 @@ class Resource:
     def __repr__(self) -> str:
         return (
             f"<Resource {self.name!r} {self._in_use}/{self.capacity} busy,"
-            f" {len(self._waiting)} waiting>"
+            f" {self._n_waiting} waiting>"
         )
 
 
@@ -120,6 +159,8 @@ class Store:
             raise SimulationError(f"store capacity must be >= 1, got {capacity}")
         self.sim = sim
         self.name = name
+        self._put_name = "put:" + name
+        self._get_name = "get:" + name
         self.capacity = capacity
         self._items: deque = deque()
         self._getters: deque[Event] = deque()
@@ -138,7 +179,7 @@ class Store:
 
     def put(self, item: typing.Any) -> Event:
         """Add `item`; fires immediately unless the store is full."""
-        event = Event(self.sim, name=f"put:{self.name}")
+        event = Event(self.sim, name=self._put_name)
         if self._getters:
             self._getters.popleft().succeed(item)
             event.succeed()
@@ -151,7 +192,7 @@ class Store:
 
     def get(self) -> Event:
         """Remove and return the oldest item; blocks while empty."""
-        event = Event(self.sim, name=f"get:{self.name}")
+        event = Event(self.sim, name=self._get_name)
         if self._items:
             item = self._items.popleft()
             if self._putters:

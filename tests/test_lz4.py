@@ -148,3 +148,64 @@ def test_roundtrip_repetitive_property(chunks):
     """Structured repetitive inputs (motifs repeated) round-trip too."""
     data = b"".join(motif * count for motif, count in chunks)
     assert lz4_decompress(lz4_compress(data)) == data
+
+
+class TestBoundedHashTable:
+    """The compressor's match table is a fixed-size array (reference-LZ4
+    style), so memory stays flat no matter how large the input is —
+    the seed's per-call dict grew with every position it scanned."""
+
+    def test_corpus_blocks_round_trip(self):
+        from repro.compression.corpus import SilesiaLikeCorpus
+
+        for file in SilesiaLikeCorpus().files():
+            for start in range(0, len(file.data), 4096):
+                block = file.data[start : start + 4096]
+                assert lz4_decompress(lz4_compress(block)) == block, file.name
+
+    def test_corpus_files_round_trip_whole(self):
+        from repro.compression.corpus import SilesiaLikeCorpus
+
+        for file in SilesiaLikeCorpus().files():
+            assert lz4_decompress(lz4_compress(file.data)) == file.data, file.name
+
+    def test_table_size_is_bounded_and_input_independent(self):
+        from repro.compression.lz4 import HASH_LOG
+
+        sizes = {}
+        for nbytes in (4096, 64 * 1024, 512 * 1024):
+            data = (b"The quick brown fox jumps over the lazy dog. " * 1024)[:nbytes]
+            stats: dict = {}
+            lz4_compress(data, _stats=stats)
+            assert stats["table_slots"] == 2**HASH_LOG
+            assert stats["peak_table_entries"] <= stats["table_slots"]
+            sizes[nbytes] = stats["table_slots"]
+        # The table does not scale with the input: 512 KiB uses the same
+        # fixed allocation as 4 KiB (the seed's dict held one entry per
+        # scanned position — ~128x more keys for the larger input).
+        assert len(set(sizes.values())) == 1
+
+    def test_tiny_table_still_round_trips(self):
+        # A 16-slot table collides constantly; correctness must not
+        # depend on table capacity, only speed does.
+        import random
+
+        rng = random.Random(11)
+        for data in (
+            b"abcd" * 2048,
+            rng.randbytes(8192),
+            (b"The quick brown fox. " * 400),
+        ):
+            blob = lz4_compress(data, _hash_log=4)
+            assert lz4_decompress(blob) == data
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.binary(min_size=0, max_size=2048))
+    def test_stats_hook_reports_bounded_entries(self, data):
+        from repro.compression.lz4 import HASH_LOG
+
+        stats: dict = {}
+        blob = lz4_compress(data, _stats=stats)
+        assert lz4_decompress(blob) == data
+        assert stats["table_slots"] in (0, 2**HASH_LOG)
+        assert 0 <= stats["peak_table_entries"] <= 2**HASH_LOG

@@ -1,0 +1,103 @@
+"""Order-of-magnitude performance guards for the hot paths.
+
+These are not benchmarks — ``benchmarks/perf`` measures; this file only
+refuses catastrophic regressions (an accidental O(n^2) queue, a codec
+that falls off a cliff). Every threshold sits ~10x below what the
+harness measures on a modest container, so scheduler noise and slow CI
+runners pass with a wide margin while a complexity-class regression
+still fails loudly.
+
+Measured references (see BENCH_6.json / docs/performance.md):
+kernel ~600K events/s, resource deep-queue ~1.2M ops/s, LZ4 compress
+~6 MB/s on corpus blocks, decompress ~15 MB/s.
+"""
+
+import time
+
+from repro.compression import lz4_compress, lz4_decompress
+from repro.compression.corpus import SilesiaLikeCorpus
+from repro.sim import Resource, Simulator
+
+
+def _best_of(body, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        body()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+class TestPerfGuards:
+    def test_kernel_events_per_sec_floor(self):
+        n = 20_000
+
+        def drive():
+            sim = Simulator()
+            for i in range(n):
+                sim.timeout(i * 1e-9)
+            sim.run()
+            return sim.steps
+
+        events = drive()
+        seconds = _best_of(drive)
+        assert events / seconds > 50_000, (
+            f"kernel fell to {events / seconds:,.0f} events/s "
+            "(harness measures ~600K; guard is 50K)"
+        )
+
+    def test_resource_deep_queue_ops_floor(self):
+        depth = 4_000
+
+        def drive():
+            sim = Simulator()
+            resource = Resource(sim, capacity=1, name="guard")
+            held = resource.request()
+            waiters = [resource.request(priority=-i) for i in range(depth)]
+            resource.release(held)
+            for waiter in waiters:
+                resource.release(waiter)
+            sim.run()
+
+        seconds = _best_of(drive)
+        ops_per_sec = 2 * depth / seconds
+        assert ops_per_sec > 50_000, (
+            f"deep-queue throughput fell to {ops_per_sec:,.0f} ops/s "
+            "(harness measures ~1.2M; the seed's sorted list managed ~8K)"
+        )
+
+    def test_lz4_compress_mb_per_sec_floor(self):
+        # A small representative sample: one text block run, one
+        # low-redundancy block run — ~100 KiB total keeps this test fast.
+        files = {f.name: f.data for f in SilesiaLikeCorpus().files()}
+        sample = files["dickens-0"][:65536] + files["x-ray-0"][:65536]
+        blocks = [sample[i : i + 4096] for i in range(0, len(sample), 4096)]
+
+        def drive():
+            for block in blocks:
+                lz4_compress(block)
+
+        seconds = _best_of(drive)
+        mb_per_sec = len(sample) / seconds / 1e6
+        assert mb_per_sec > 0.5, (
+            f"lz4 compress fell to {mb_per_sec:.2f} MB/s "
+            "(harness measures ~6 MB/s on corpus blocks; guard is 0.5)"
+        )
+
+    def test_lz4_decompress_mb_per_sec_floor(self):
+        files = {f.name: f.data for f in SilesiaLikeCorpus().files()}
+        sample = files["dickens-0"][:131072]
+        blobs = [
+            lz4_compress(sample[i : i + 4096]) for i in range(0, len(sample), 4096)
+        ]
+
+        def drive():
+            for blob in blobs:
+                lz4_decompress(blob)
+
+        seconds = _best_of(drive)
+        mb_per_sec = len(sample) / seconds / 1e6
+        assert mb_per_sec > 1.0, (
+            f"lz4 decompress fell to {mb_per_sec:.2f} MB/s "
+            "(harness measures ~15 MB/s; guard is 1.0)"
+        )

@@ -351,36 +351,74 @@ class TestZeroCostDiscipline:
         per_site = best / n
         assert per_site < 1e-6  # < 1 us per instrumentation site
 
-    def test_untraced_hot_path_within_ten_percent_of_uninstrumented(self):
-        """The guarded hot-path operation times within ±10% of the same
-        operation with no guard at all.
+    def test_untraced_sites_allocate_nothing(self):
+        """Telemetry-off sites build no label dicts, f-strings, or spans.
 
-        The guarded loop is the instrumented datapath unit (build a
-        message, test its span); the plain loop is the pre-span seed.
-        Min-of-repeats absorbs scheduler noise; the guard is tens of
-        nanoseconds against a microsecond-scale operation, far inside
-        the 10%% budget.
+        Deterministic (allocation-counting, not timing): run the guards a
+        site executes on an untraced simulator many times and require the
+        net traced allocation to stay flat — an accidental per-iteration
+        allocation would grow it by at least n * minimum-object-size.
         """
-        n = 50_000
+        import tracemalloc
 
-        def best_of(body, repeats=7):
-            best = float("inf")
-            for _ in range(repeats):
-                started = time.perf_counter()
-                body()
-                best = min(best, time.perf_counter() - started)
-            return best
-
-        def guarded():
+        sim = Simulator()
+        message = Message("write_request", "a", "b")
+        collector = sim._span_collector
+        n = 10_000
+        tracemalloc.start()
+        try:
+            before, _ = tracemalloc.get_traced_memory()
             for _ in range(n):
-                message = Message("write_request", "a", "b")
-                if message.span is not None:  # every instrumentation site
+                if collector is not None:  # generator-side site
+                    raise AssertionError("collector attached unexpectedly")
+                if message.span is not None:  # transport/server-side site
                     raise AssertionError("untraced message grew a span")
+            after, _ = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        # Allow slack for interpreter-internal bookkeeping, but far less
+        # than one object per iteration (n * 16 bytes minimum).
+        assert after - before < 4096
+
+    def test_untraced_hot_path_within_five_percent_of_uninstrumented(self):
+        """The guarded hot path times within 5% of the same path unguarded.
+
+        The measured unit is the real generator hot-path slice (build a
+        request message and its reply event, as ``workloads.generators``
+        does per request); the guarded variant adds the two telemetry
+        checks that slice executes when tracing is off. Samples are
+        interleaved plain/guarded within every round so drift in machine
+        load hits both variants equally, and min-of-rounds absorbs the
+        remaining noise.
+        """
+        sim = Simulator()
+        n = 20_000
 
         def plain():
-            for _ in range(n):
-                Message("write_request", "a", "b")
+            event = sim.event
+            started = time.perf_counter()
+            for seq in range(n):
+                message = Message("write_request", "a", "b")
+                event(name="reply")
+            return time.perf_counter() - started
 
-        guarded()  # warm up allocator and caches
-        plain()
-        assert best_of(guarded) <= best_of(plain) * 1.10
+        def guarded():
+            event = sim.event
+            collector = sim._span_collector
+            started = time.perf_counter()
+            for seq in range(n):
+                message = Message("write_request", "a", "b")
+                if collector is not None:  # generator instrumentation site
+                    raise AssertionError("collector attached unexpectedly")
+                if message.span is not None:  # transport instrumentation site
+                    raise AssertionError("untraced message grew a span")
+                event(name="reply")
+            return time.perf_counter() - started
+
+        plain()  # warm up allocator and caches
+        guarded()
+        best_plain = best_guarded = float("inf")
+        for _ in range(9):
+            best_plain = min(best_plain, plain())
+            best_guarded = min(best_guarded, guarded())
+        assert best_guarded <= best_plain * 1.05
