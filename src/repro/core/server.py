@@ -175,7 +175,8 @@ class SmartDsMiddleTier(MiddleTierServer):
         while True:
             message: Message = yield qp.recv()
             message.header["arrival_port"] = port_index
-            self._requests.put((qp, message))
+            if self._admit(qp, message):
+                self._requests.put((qp, message))
 
     def _post_recv(self, port_index: int, qp: QueuePair) -> None:
         """Post one mixed-recv descriptor; its completion reposts another.
@@ -184,8 +185,20 @@ class SmartDsMiddleTier(MiddleTierServer):
         watermark the descriptor is *not* posted — the QP is flagged
         starved so ingress degrades to the host path instead of blocking
         on an empty table — and a deferred repost waits for headroom.
+        Brownout rung 2 applies the same degradation deliberately:
+        while the ladder prefers host ingress, descriptors stay unposted
+        and arriving writes take the host path whole.
         """
         api = self.api
+        if self.admission is not None and self.admission.prefer_host_ingress():
+            split = self.device.instance(port_index).split
+            split.mark_starved(qp)
+            self.sim.process(
+                self._brownout_repost(port_index, qp),
+                name=f"{self.address}.recv-brownout{port_index}",
+                daemon=True,
+            )
+            return
         header_size = self.platform.workload.header_size
         d_buf = api.dev_try_alloc(self._buffer_bytes)
         if d_buf is None:
@@ -212,6 +225,17 @@ class SmartDsMiddleTier(MiddleTierServer):
         self.device.instance(port_index).split.clear_starved(qp)
         self._post_recv(port_index, qp)
 
+    def _brownout_repost(self, port_index: int, qp: QueuePair) -> typing.Generator:
+        """Restore a brownout-withheld descriptor once the ladder descends."""
+        while self.admission is not None and self.admission.prefer_host_ingress():
+            if not self.sim._queue:
+                # Idle sim: never hold up a drain-mode run; the window
+                # slot is restored by the next attach in a later phase.
+                return
+            yield self.sim.timeout(self.admission.spec.adapt_interval)
+        self.device.instance(port_index).split.clear_starved(qp)
+        self._post_recv(port_index, qp)
+
     def _on_recv(
         self,
         port_index: int,
@@ -223,6 +247,12 @@ class SmartDsMiddleTier(MiddleTierServer):
         yield from self.api.poll(completion)
         message = completion.message
         message.header["arrival_port"] = port_index
+        if not self._admit(qp, message):
+            # Shed at ingress: the split already landed the payload in
+            # HBM — recycle the buffer, keep the descriptor window full.
+            self.api.dev_free(d_buf)
+            self._post_recv(port_index, qp)
+            return
         self._buffers[message.request_id] = (port_index, h_buf, d_buf)
         self._requests.put((qp, message))
         self._post_recv(port_index, qp)
@@ -267,6 +297,13 @@ class SmartDsMiddleTier(MiddleTierServer):
         engine = self.device.instance(port_index).engine
         d_send = None
         if message.header.get("latency_sensitive"):
+            outgoing = message.payload
+        elif not self._compression_allowed():
+            # Brownout rung 3: skip the engine and replicate the raw
+            # payload — shed compression work before shedding requests.
+            self.requests_degraded.add()
+            if parent is not None:
+                parent.event("write.raw-payload", outcome="degraded", reason="brownout")
             outgoing = message.payload
         else:
             d_send = yield from api.dev_alloc_within(
@@ -379,11 +416,13 @@ class SmartDsMiddleTier(MiddleTierServer):
                 return
             if parent is not None:
                 parent.event("cache.miss")
-            fill_token = self.cache.begin_fill(key)
+            if self._fill_allowed():
+                fill_token = self.cache.begin_fill(key)
         locations = self._block_locations.get(key)
         if not locations:
             if parent is not None:
                 parent.event("read.not_found", outcome="failed")
+            self._release_admission(message)
             yield qp.send(message.reply("read_reply", status="not_found"))
             return
         policy = self.read_retry
@@ -401,6 +440,7 @@ class SmartDsMiddleTier(MiddleTierServer):
                 or policy.deadline_expired(self.sim.now - start)
             ):
                 self.reads_unavailable.add()
+                self._release_admission(message)
                 unavail_span = None
                 if parent is not None:
                     unavail_span = parent.child(
@@ -447,11 +487,15 @@ class SmartDsMiddleTier(MiddleTierServer):
             if data_event.triggered:
                 control_matcher.forget(fetch.request_id)
                 stored, d_buf = data_event.value
+                if self.admission is not None:
+                    self.admission.record_server_success(address)
                 if attempt_span is not None:
                     attempt_span.finish("ok", nbytes=stored.payload_size, path="split")
             elif ctl_event.triggered:
                 reply_matcher.forget(fetch.request_id)
                 ctl: Message = ctl_event.value
+                if self.admission is not None:
+                    self.admission.record_server_success(address)
                 if ctl.kind == "storage_read_reply" and ctl.payload is not None:
                     stored = ctl  # degraded: payload is in host memory
                     if attempt_span is not None:
@@ -461,6 +505,7 @@ class SmartDsMiddleTier(MiddleTierServer):
                 else:
                     if attempt_span is not None:
                         attempt_span.finish("failed")
+                    self._release_admission(message)
                     yield qp.send(message.reply("read_reply", status="not_found"))
                     return
             else:
@@ -468,6 +513,8 @@ class SmartDsMiddleTier(MiddleTierServer):
                 # and rotate to the next replica (§2.2.3 fail-over).
                 reply_matcher.forget(fetch.request_id)
                 control_matcher.forget(fetch.request_id)
+                if self.admission is not None:
+                    self.admission.record_server_failure(address)
                 self.read_failovers.add()
                 if attempt_span is not None:
                     attempt_span.finish(

@@ -22,6 +22,7 @@ from repro.experiments import (
     ext_load_latency,
     ext_maintenance,
     ext_multitenancy,
+    ext_overload,
     ext_read_path,
     fig4_memory_interference,
     fig7_throughput_latency,
@@ -42,6 +43,7 @@ EXPERIMENTS: dict[str, typing.Any] = {
     "ext-load": ext_load_latency,
     "ext-maint": ext_maintenance,
     "ext-tenants": ext_multitenancy,
+    "ext_overload": ext_overload,
     "ext-reads": ext_read_path,
     "table1": table1_pcie,
     "table3": table3_resources,

@@ -18,6 +18,14 @@ SmartDS device and its AAMS API.
 """
 
 from repro.middletier.accelerator import AcceleratorMiddleTier
+from repro.middletier.admission import (
+    LEVEL_NAMES,
+    AdmissionController,
+    BrownoutController,
+    Bulkhead,
+    CircuitBreaker,
+    TenantCredits,
+)
 from repro.middletier.base import MiddleTierServer, ResponseMatcher, RetainedWrite
 from repro.middletier.cluster import Testbed
 from repro.middletier.cpu_only import CpuOnlyMiddleTier
@@ -25,6 +33,7 @@ from repro.middletier.maintenance import (
     HeartbeatMonitor,
     LsmCompactionService,
     SnapshotService,
+    probe_delay,
 )
 from repro.middletier.mapping import AddressMapper
 from repro.middletier.naive_fpga import NaiveFpgaMiddleTier
@@ -34,9 +43,14 @@ from repro.middletier.soc_smartnic import BlueField2MiddleTier
 __all__ = [
     "AcceleratorMiddleTier",
     "AddressMapper",
+    "AdmissionController",
     "BlueField2MiddleTier",
+    "BrownoutController",
+    "Bulkhead",
+    "CircuitBreaker",
     "CpuOnlyMiddleTier",
     "HeartbeatMonitor",
+    "LEVEL_NAMES",
     "LsmCompactionService",
     "MiddleTierServer",
     "NaiveFpgaMiddleTier",
@@ -44,5 +58,7 @@ __all__ = [
     "RetainedWrite",
     "RetryPolicy",
     "SnapshotService",
+    "TenantCredits",
     "Testbed",
+    "probe_delay",
 ]

@@ -22,6 +22,7 @@ import dataclasses
 import typing
 from collections import OrderedDict, deque
 
+from repro.middletier.admission import AdmissionController
 from repro.middletier.cluster import Testbed
 from repro.middletier.retry import RetryPolicy
 from repro.net.message import Message, Payload, decompress_payload
@@ -63,7 +64,18 @@ class ResponseMatcher:
         self.unmatched: deque[Message] = deque(maxlen=self.UNMATCHED_LIMIT)
         self.late_replies = Counter("late-replies")
         self.unexpected_replies = Counter("unexpected-replies")
+        self.forgotten_evicted = Counter("forgotten-evicted")
         self._forgotten: OrderedDict[int, None] = OrderedDict()
+        registry = registry_for(sim)
+        if registry is not None:
+            labels = dict(component="middletier")
+            registry.register_instance(self.late_replies, "tier.matcher.late_replies", **labels)
+            registry.register_instance(
+                self.unexpected_replies, "tier.matcher.unexpected_replies", **labels
+            )
+            registry.register_instance(
+                self.forgotten_evicted, "tier.matcher.forgotten_evicted", **labels
+            )
         sim.process(self._loop(), name="response-matcher", daemon=True)
 
     def expect(self, request_id: int) -> Event:
@@ -81,6 +93,7 @@ class ResponseMatcher:
             self._forgotten[request_id] = None
             while len(self._forgotten) > self.FORGOTTEN_LIMIT:
                 self._forgotten.popitem(last=False)
+                self.forgotten_evicted.add()
 
     def _loop(self) -> typing.Generator:
         while True:
@@ -177,6 +190,15 @@ class MiddleTierServer(abc.ABC):
             registry.gauge_callable("tier.queue_depth", lambda: len(self._requests), **labels)
         self._build()
         self._connect_storage()
+        # Overload protection (docs/robustness.md): ``None`` when the
+        # platform's AdmissionSpec is disabled (the default) — every
+        # call site guards on that, so the unprotected tier is unchanged.
+        # Built after _build() so the controller can see self.device on
+        # designs that have one (the brownout HBM-pressure signal).
+        admission_spec = self.platform.admission
+        self.admission: AdmissionController | None = (
+            AdmissionController(sim, self, admission_spec) if admission_spec.enabled else None
+        )
 
     # -- subclass surface -------------------------------------------------
 
@@ -241,7 +263,48 @@ class MiddleTierServer(abc.ABC):
     def _dispatch(self, qp: QueuePair) -> typing.Generator:
         while True:
             message: Message = yield qp.recv()
-            self._requests.put((qp, message))
+            if self._admit(qp, message):
+                self._requests.put((qp, message))
+
+    # -- admission ---------------------------------------------------------
+
+    def _admit(self, qp: QueuePair, message: Message) -> bool:
+        """Admission gate at ingress; a shed request is answered, not queued."""
+        if self.admission is None:
+            return True
+        reason = self.admission.admit(message)
+        if reason is None:
+            return True
+        self.sim.process(
+            self._send_shed_reply(qp, message, reason), name=f"{self.address}.shed"
+        )
+        return False
+
+    def _send_shed_reply(
+        self, qp: QueuePair, message: Message, reason: str
+    ) -> typing.Generator:
+        kind = "write_reply" if message.kind == "write_request" else "read_reply"
+        reply = message.reply(kind, status="shed", reason=reason)
+        # reply() doesn't propagate the flow tag; shed replies must stay
+        # visible to FlowLedger byte-conservation audits.
+        reply.flow = message.flow
+        if message.span is not None:
+            shed_span = message.span.child("admission.shed", reason=reason)
+            shed_span.finish("shed")
+        yield qp.send(reply)
+
+    def _release_admission(self, message: Message) -> None:
+        """Return the request's credit at a non-ok terminal reply."""
+        if self.admission is not None:
+            self.admission.release(message)
+
+    def _compression_allowed(self) -> bool:
+        """Brownout rung 3 gate consulted by the designs' compress steps."""
+        return self.admission is None or self.admission.compression_allowed()
+
+    def _fill_allowed(self) -> bool:
+        """Brownout rung 1 gate: whether read misses may fill the cache."""
+        return self.admission is None or self.admission.cache_fills_allowed()
 
     def _connect_storage(self) -> None:
         for server in self.testbed.storage_servers:
@@ -272,6 +335,8 @@ class MiddleTierServer(abc.ABC):
 
     def _complete(self, message: Message) -> None:
         """Count one served request; feed the latency histogram if registered."""
+        if self.admission is not None:
+            self.admission.release(message)
         self.requests_completed.add()
         if self._latency_hist is not None and message.created_at is not None:
             self._latency_hist.observe(self.sim.now - message.created_at)
@@ -347,6 +412,28 @@ class MiddleTierServer(abc.ABC):
         excluded.discard(server.address)
         while True:
             attempts += 1
+            if self.admission is not None and not self.admission.allow_server(
+                server.address
+            ):
+                # Circuit open: the attempt is doomed — don't burn a full
+                # time-out on it. Release the claim we hold and fail over
+                # immediately, bounded by the same attempt budget.
+                self.testbed.policy.complete(server)
+                if span is not None:
+                    span.event(
+                        "write.short-circuit", outcome="retried", server=server.address
+                    )
+                excluded.add(server.address)
+                if policy.attempts_exhausted(attempts) or attempts > len(
+                    self.testbed.storage_servers
+                ):
+                    if span is not None:
+                        span.finish("failed", attempts=attempts)
+                    raise RuntimeError(
+                        f"write of {message.header} short-circuited on every server"
+                    )
+                server = self._choose_replacement(excluded)
+                continue
             qp, matcher = self._storage_link_for(server, message)
             store_msg = Message(
                 kind="storage_write",
@@ -377,10 +464,14 @@ class MiddleTierServer(abc.ABC):
                     matcher.forget(store_msg.request_id)
             if ack_event.triggered:
                 ack: Message = ack_event.value
+                if self.admission is not None:
+                    self.admission.record_server_success(server.address)
                 if attempt_span is not None:
                     attempt_span.finish("ok", nbytes=payload.size)
                 return (server.address, ack.header.get("location", -1))
             # Timed out: pick a replacement and retry (§2.2.3 fail-over).
+            if self.admission is not None:
+                self.admission.record_server_failure(server.address)
             if attempt_span is not None:
                 attempt_span.finish("retried", timeout=policy.timeout_for(attempts))
             self.failovers.add()
@@ -430,7 +521,18 @@ class MiddleTierServer(abc.ABC):
         ]
         # Prefer servers the heartbeat monitor considers healthy; fall
         # back to suspected-but-not-failed ones rather than giving up.
-        candidates = [s for s in alive if not self._suspected(s.address)] or alive
+        healthy = [s for s in alive if not self._suspected(s.address)]
+        candidates = healthy or alive
+        if self.admission is not None:
+            # Among equals, prefer replicas whose breaker isn't open —
+            # checked via .state (not allow()) so mere candidate ranking
+            # doesn't count as a short-circuit.
+            open_free = [
+                s
+                for s in candidates
+                if self.admission.breaker_for(s.address).state != "open"
+            ]
+            candidates = open_free or candidates
         if not candidates:
             raise RuntimeError("no healthy storage server left for fail-over")
         chosen = min(candidates, key=lambda s: self.testbed.policy.outstanding(s))
@@ -463,6 +565,20 @@ class MiddleTierServer(abc.ABC):
         pool = [address for address in locations if not self._suspected(address)]
         if not pool:
             return None
+        if self.admission is not None:
+            open_free = [
+                address
+                for address in pool
+                if self.admission.breaker_for(address).state != "open"
+            ]
+            if open_free:
+                pool = open_free
+            else:
+                # Every un-suspected replica's breaker is open: the read
+                # is doomed — short-circuit it to "unavailable" rather
+                # than spending time-outs probing tripped servers.
+                self.admission.short_circuits.add()
+                return None
         return pool[attempt % len(pool)]
 
     def _fetch_and_reply(
@@ -509,11 +625,15 @@ class MiddleTierServer(abc.ABC):
                 return
             if parent is not None:
                 parent.event("cache.miss")
-            fill_token = self.cache.begin_fill(key)
+            # Brownout rung 1: under pressure, misses stop filling the
+            # cache — the fill's HBM traffic is the first thing to go.
+            if self._fill_allowed():
+                fill_token = self.cache.begin_fill(key)
         locations = self._block_locations.get(key)
         if not locations:
             if parent is not None:
                 parent.event("read.not_found", outcome="failed")
+            self._release_admission(message)
             yield qp.send(message.reply("read_reply", status="not_found"))
             return
         policy = self.read_retry
@@ -529,6 +649,7 @@ class MiddleTierServer(abc.ABC):
                 or policy.deadline_expired(self.sim.now - start)
             ):
                 self.reads_unavailable.add()
+                self._release_admission(message)
                 unavail_span = None
                 if parent is not None:
                     unavail_span = parent.child(
@@ -563,10 +684,14 @@ class MiddleTierServer(abc.ABC):
             yield AnyOf(self.sim, [reply_event, deadline])
             if reply_event.triggered:
                 stored = reply_event.value
+                if self.admission is not None:
+                    self.admission.record_server_success(server.address)
                 if attempt_span is not None:
                     attempt_span.finish("ok", nbytes=stored.payload_size)
             else:
                 matcher.forget(fetch.request_id)
+                if self.admission is not None:
+                    self.admission.record_server_failure(server.address)
                 self.read_failovers.add()
                 if attempt_span is not None:
                     attempt_span.finish(
@@ -575,6 +700,7 @@ class MiddleTierServer(abc.ABC):
         if stored.kind != "storage_read_reply" or stored.payload is None:
             if parent is not None:
                 parent.event("read.not_found", outcome="failed")
+            self._release_admission(message)
             yield qp.send(message.reply("read_reply", status="not_found"))
             return
         payload = stored.payload

@@ -77,8 +77,8 @@ class CpuOnlyMiddleTier(MiddleTierServer):
         if payload is None:
             raise ValueError("write_request without payload")
         yield self.sim.timeout(host.parse_header_time)
-        if message.header.get("latency_sensitive"):
-            outgoing = payload  # forwarded raw, exactly as in Listing 1
+        if message.header.get("latency_sensitive") or not self._compression_allowed():
+            outgoing = payload  # forwarded raw (Listing 1 / brownout rung 3)
         else:
             profile = self.cpu.compression_profile(worker_index, self.n_workers)
             # The DMA ring is long evicted (§3.2): compression streams the

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import typing
 
+from repro.middletier.admission import address_token, jitter_unit
 from repro.middletier.base import MiddleTierServer, RetainedWrite
 from repro.net.message import Message
 from repro.sim.events import AnyOf
@@ -29,6 +30,21 @@ from repro.units import gBps, msec
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.kernel import Simulator
     from repro.storage.server import StorageServer
+
+
+def probe_delay(
+    seed: int, interval: float, jitter: float, address: str, count: int
+) -> float:
+    """Delay before re-probe `count` of suspected server `address`.
+
+    A pure function of its arguments — two tiers with different seeds
+    de-synchronize their probes of the same recovering server (no probe
+    storm), while a replay under the same ``REPRO_FAULT_SEED`` gets the
+    identical schedule. The draw spreads the delay over
+    ``interval * [1 - jitter, 1 + jitter]``.
+    """
+    unit = jitter_unit(seed, address_token(address), count)
+    return interval * (1.0 - jitter + 2.0 * jitter * unit)
 
 
 class LsmCompactionService:
@@ -79,6 +95,10 @@ class LsmCompactionService:
         entries = self.tier._chunk_log.pop(chunk_id, [])
         if not entries:
             return
+        # Bulkhead: compaction is the background tenant — it is paced
+        # down whenever the foreground path is under pressure.
+        if self.tier.admission is not None:
+            yield from self.tier.admission.bulkhead.acquire()
         self.compactions.add()
         self.blocks_in.add(len(entries))
         total_bytes = sum(entry.payload.size for entry in entries)
@@ -179,6 +199,9 @@ class SnapshotService:
     def _loop(self) -> typing.Generator:
         while self._running:
             yield self.sim.timeout(self.interval)
+            # Bulkhead: snapshot rounds wait out foreground pressure.
+            if self.tier.admission is not None:
+                yield from self.tier.admission.bulkhead.acquire()
             for server in self.tier.testbed.storage_servers:
                 if server.failed:
                     continue
@@ -201,9 +224,11 @@ class HeartbeatMonitor:
     The monitor registers itself as the tier's health oracle
     (``tier.health``): replica selection on both the write fail-over
     path and the read fail-over rotation consults :meth:`is_healthy`
-    to skip suspected servers. Suspected servers keep being probed, so
-    a server that comes back (e.g. a transient partition) is
-    un-suspected and returns to the selection pool.
+    to skip suspected servers. Suspected servers keep being re-probed
+    on a *seeded-jitter* schedule (see :func:`probe_delay`) so monitors
+    on different tiers don't hammer a recovering server in lockstep; a
+    server that comes back (e.g. a transient partition) is un-suspected
+    and returns to the selection pool.
     """
 
     def __init__(
@@ -212,15 +237,24 @@ class HeartbeatMonitor:
         tier: MiddleTierServer,
         interval: float = msec(1),
         timeout: float = msec(2),
+        seed: int = 0,
+        probe_jitter: float = 0.35,
     ) -> None:
+        if not 0.0 <= probe_jitter < 1.0:
+            raise ValueError(f"probe_jitter must be in [0, 1), got {probe_jitter}")
         self.sim = sim
         self.tier = tier
         self.interval = interval
         self.timeout = timeout
+        self.seed = seed
+        self.probe_jitter = probe_jitter
         self.suspected: set[str] = set()
         self.failures_detected = Counter("failures-detected")
         self.recoveries_detected = Counter("recoveries-detected")
         self.blocks_re_replicated = Counter("blocks-re-replicated")
+        #: per suspected server: re-probes issued so far / next due time.
+        self._probe_counts: dict[str, int] = {}
+        self._next_probe: dict[str, float] = {}
         self._running = True
         tier.health = self
         sim.process(self._loop(), name="heartbeat-monitor", daemon=True)
@@ -237,15 +271,35 @@ class HeartbeatMonitor:
         while self._running:
             yield self.sim.timeout(self.interval)
             for server in self.tier.testbed.storage_servers:
-                alive = yield self.sim.process(self._ping(server))
-                if server.address in self.suspected:
+                address = server.address
+                if address in self.suspected:
+                    # Suspected servers are re-probed on their own
+                    # jittered schedule, not every healthy-ping round —
+                    # de-synchronized across monitors by seed.
+                    if self.sim.now < self._next_probe.get(address, 0.0):
+                        continue
+                    alive = yield self.sim.process(self._ping(server))
                     if alive:
                         # The server came back: return it to the pool.
-                        self.suspected.discard(server.address)
+                        self.suspected.discard(address)
+                        self._probe_counts.pop(address, None)
+                        self._next_probe.pop(address, None)
                         self.recoveries_detected.add()
-                elif not alive:
-                    self.suspected.add(server.address)
+                    else:
+                        count = self._probe_counts.get(address, 0) + 1
+                        self._probe_counts[address] = count
+                        self._next_probe[address] = self.sim.now + probe_delay(
+                            self.seed, self.interval, self.probe_jitter, address, count
+                        )
+                    continue
+                alive = yield self.sim.process(self._ping(server))
+                if not alive:
+                    self.suspected.add(address)
                     self.failures_detected.add()
+                    self._probe_counts[address] = 0
+                    self._next_probe[address] = self.sim.now + probe_delay(
+                        self.seed, self.interval, self.probe_jitter, address, 0
+                    )
                     yield self.sim.process(self._re_replicate(server.address))
 
     def _ping(self, server: "StorageServer") -> typing.Generator:

@@ -206,6 +206,86 @@ class CacheSpec:
 
 
 @dataclasses.dataclass(frozen=True)
+class AdmissionSpec:
+    """Overload protection for the middle tier (``docs/robustness.md``).
+
+    Disabled by default: the tier accepts unbounded work exactly as
+    before. Enabled, :mod:`repro.middletier.admission` layers four
+    defenses over the request path — per-tenant credit admission at
+    ingress, deadline-aware early shedding, per-replica circuit
+    breakers, and an explicit brownout ladder driven by a single
+    overload score — so sustained overload yields ``status="shed"``
+    replies and bounded tails instead of queue collapse.
+    """
+
+    enabled: bool = False
+    #: Per-tenant outstanding-request budget before a service rate is
+    #: measured (the pool then adapts via Little's law: rate x budget).
+    initial_credits: int = 32
+    min_credits: int = 4
+    max_credits: int = 256
+    #: Per-request latency SLO: drives deadline-aware early shedding and
+    #: the credit-pool adaptation target.
+    latency_budget: float = usec(20000)
+    #: EWMA smoothing for measured completion rates and gaps.
+    ewma_alpha: float = 0.2
+    #: Credit-pool adaptation cadence (also the brownout poll interval).
+    adapt_interval: float = usec(500)
+    #: Circuit breaker: this many failures inside `breaker_window` trip
+    #: a replica's breaker open for `breaker_open_duration`, +- jitter.
+    breaker_threshold: int = 3
+    breaker_window: float = usec(5000)
+    breaker_open_duration: float = usec(2000)
+    breaker_jitter: float = 0.25
+    #: Request-queue depth that maps to overload score 1.0.
+    queue_target: int = 48
+    #: Brownout ladder entry thresholds (overload score) for levels 1-4:
+    #: no-cache-fills, host-ingress, raw-replication, shed.
+    ladder_up: tuple = (0.55, 0.7, 0.85, 0.97)
+    #: Hysteresis: a rung is left only once the score falls this far
+    #: below its entry threshold, so the ladder doesn't flap.
+    ladder_margin: float = 0.1
+    #: Bulkhead pacing step for maintenance work under foreground pressure.
+    maintenance_pause: float = usec(500)
+    #: Seeds the breakers' deterministic probe jitter (replay-stable).
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.min_credits <= self.initial_credits <= self.max_credits:
+            raise ValueError(
+                "credits must satisfy 1 <= min <= initial <= max, got "
+                f"min={self.min_credits} initial={self.initial_credits} "
+                f"max={self.max_credits}"
+            )
+        if self.latency_budget <= 0:
+            raise ValueError(f"latency budget must be positive, got {self.latency_budget!r}")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError(f"ewma_alpha must be in (0, 1], got {self.ewma_alpha!r}")
+        if self.adapt_interval <= 0 or self.maintenance_pause <= 0:
+            raise ValueError("adapt_interval and maintenance_pause must be positive")
+        if self.breaker_threshold < 1:
+            raise ValueError(f"breaker_threshold must be >= 1, got {self.breaker_threshold}")
+        if self.breaker_window <= 0 or self.breaker_open_duration <= 0:
+            raise ValueError("breaker durations must be positive")
+        if not 0.0 <= self.breaker_jitter < 1.0:
+            raise ValueError(f"breaker_jitter must be in [0, 1), got {self.breaker_jitter!r}")
+        if self.queue_target < 1:
+            raise ValueError(f"queue_target must be >= 1, got {self.queue_target}")
+        if len(self.ladder_up) != 4 or any(
+            not 0.0 < t <= 1.0 for t in self.ladder_up
+        ) or list(self.ladder_up) != sorted(set(self.ladder_up)):
+            raise ValueError(
+                f"ladder_up must be 4 strictly-increasing thresholds in (0, 1], "
+                f"got {self.ladder_up!r}"
+            )
+        if not 0.0 <= self.ladder_margin < self.ladder_up[0]:
+            raise ValueError(
+                f"ladder_margin must be in [0, {self.ladder_up[0]!r}), "
+                f"got {self.ladder_margin!r}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
 class WorkloadSpec:
     """The paper's I/O shape."""
 
@@ -227,6 +307,7 @@ class PlatformSpec:
     workload: WorkloadSpec = dataclasses.field(default_factory=WorkloadSpec)
     recovery: RecoverySpec = dataclasses.field(default_factory=RecoverySpec)
     cache: CacheSpec = dataclasses.field(default_factory=CacheSpec)
+    admission: AdmissionSpec = dataclasses.field(default_factory=AdmissionSpec)
 
 
 #: The default platform used by all experiments.

@@ -18,7 +18,9 @@ Outcome tags are a small vocabulary shared by all stages:
 - ``retried`` — the attempt timed out and the request rotated to
   another replica (a later sibling span carries the final outcome);
 - ``failed`` — the stage gave up (exhausted retry budget, not-found,
-  crashed server).
+  crashed server);
+- ``shed`` — admission control rejected the request at ingress before
+  any datapath work was spent on it (``docs/robustness.md``).
 
 Tracing follows the same zero-cost discipline as
 :class:`repro.sim.trace.Tracer`: with no collector attached,
@@ -42,7 +44,7 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.kernel import Simulator
 
 #: Outcome tags every stage draws from (see module docstring).
-OUTCOMES = ("ok", "degraded", "retried", "failed")
+OUTCOMES = ("ok", "degraded", "retried", "failed", "shed")
 
 
 class Span:

@@ -17,6 +17,7 @@
 from repro.workloads.generators import (
     ClientDriver,
     DriverResult,
+    OpenLoopDriver,
     SkewedReadFactory,
     WriteRequestFactory,
 )
@@ -26,6 +27,7 @@ __all__ = [
     "ClientDriver",
     "DriverResult",
     "MlcInjector",
+    "OpenLoopDriver",
     "SkewedReadFactory",
     "WriteRequestFactory",
 ]

@@ -220,7 +220,8 @@ class OpenLoopDriver:
         )
         self.endpoint = RoceEndpoint(sim, port, self.address, spec=tier.platform.network)
         self.qp = tier.attach_client(self.endpoint, port_index=port_index)
-        self._samples: list[tuple[float, float, int]] = []
+        # (start, end, payload, status, lba) per completed request.
+        self._samples: list[tuple[float, float, int, str, int]] = []
         self._reply_events: dict[int, typing.Any] = {}
         sim.process(self._reply_loop(), name=f"{self.address}.replies", daemon=True)
 
@@ -248,17 +249,25 @@ class OpenLoopDriver:
         ordered = sorted(self._samples, key=lambda sample: sample[1])
         skip = int(len(ordered) * self.warmup_fraction)
         measured = ordered[skip:] if skip else ordered
+        # Latency and payload bytes cover ok requests only — a shed reply
+        # returns in microseconds and would otherwise *improve* the tail
+        # while goodput collapses. `throughput` is therefore goodput.
         latency = LatencyRecorder("openloop-latency")
         payload_bytes = 0
-        for start, end, size in measured:
-            latency.record(end - start)
-            payload_bytes += size
+        failures: list[tuple[int, str]] = []
+        for start, end, size, status, lba in measured:
+            if status == "ok":
+                latency.record(end - start)
+                payload_bytes += size
+            else:
+                failures.append((lba, status))
         duration = max(measured[-1][1] - measured[0][1], 1e-12)
         return DriverResult(
             requests=len(measured),
             payload_bytes=payload_bytes,
             duration=duration,
             latency=latency,
+            failures=tuple(failures),
         )
 
     def _one_request(self) -> typing.Generator:
@@ -267,8 +276,16 @@ class OpenLoopDriver:
         self._reply_events[message.request_id] = reply_event
         start = self.sim.now
         yield self.qp.send(message)
-        yield reply_event
-        self._samples.append((start, self.sim.now, message.payload_size))
+        reply = yield reply_event
+        self._samples.append(
+            (
+                start,
+                self.sim.now,
+                message.payload_size,
+                reply.header.get("status", "ok"),
+                message.header.get("block_id", -1),
+            )
+        )
 
 
 class ClientDriver:
@@ -362,11 +379,8 @@ class ClientDriver:
             reply = yield reply_event
             if root is not None:
                 status = reply.header.get("status", "ok")
-                root.finish(
-                    "ok" if status == "ok" else "failed",
-                    nbytes=reply.payload_size,
-                    status=status,
-                )
+                outcome = "ok" if status == "ok" else ("shed" if status == "shed" else "failed")
+                root.finish(outcome, nbytes=reply.payload_size, status=status)
             self._samples.append((start, self.sim.now, message.payload_size))
 
     def _collect(self, streams: list, n_requests: int) -> typing.Generator:
@@ -411,11 +425,10 @@ class ClientDriver:
                 reply = yield reply_event
                 status = reply.header.get("status", "ok")
                 if root is not None:
-                    root.finish(
-                        "ok" if status == "ok" else "failed",
-                        nbytes=reply.payload_size,
-                        status=status,
+                    outcome = (
+                        "ok" if status == "ok" else ("shed" if status == "shed" else "failed")
                     )
+                    root.finish(outcome, nbytes=reply.payload_size, status=status)
                 if status != "ok":
                     failures.append((lba, status))
                 samples.append((start, self.sim.now, reply.payload_size))

@@ -1,0 +1,547 @@
+"""Overload protection: admission credits, circuit breakers, the
+brownout ladder, bulkhead pacing, and end-to-end shedding.
+
+The integration tests honour ``REPRO_FAULT_SEED`` like the rest of the
+chaos matrix; every shed/short-circuit schedule is deterministic given
+that seed (see ``docs/robustness.md``).
+"""
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.core import SmartDsMiddleTier
+from repro.middletier import CpuOnlyMiddleTier, ResponseMatcher, Testbed
+from repro.middletier.admission import (
+    LEVEL_FULL,
+    LEVEL_NAMES,
+    LEVEL_RAW_REPLICATION,
+    LEVEL_SHED,
+    AdmissionController,
+    CircuitBreaker,
+    TenantCredits,
+    address_token,
+    jitter_unit,
+)
+from repro.middletier.maintenance import HeartbeatMonitor, probe_delay
+from repro.net import Message, NetworkPort, RoceEndpoint
+from repro.params import DEFAULT_PLATFORM, AdmissionSpec
+from repro.sim import FlowLedger, Simulator
+from repro.telemetry.registry import MetricsRegistry
+from repro.units import gbps, msec, usec
+from repro.workloads import WriteRequestFactory
+
+FAULT_SEED = int(os.environ.get("REPRO_FAULT_SEED", "11"))
+
+
+def _advance(sim, delay):
+    def wait():
+        yield sim.timeout(delay)
+
+    sim.run(until=sim.process(wait()))
+
+
+class _StubTier:
+    """Just enough tier surface for a bare AdmissionController."""
+
+    design_name = "stub"
+    address = "stub0"
+
+    def __init__(self):
+        self._requests = []
+
+
+def _controller(sim, **spec_overrides):
+    spec = AdmissionSpec(enabled=True, **spec_overrides)
+    return AdmissionController(sim, _StubTier(), spec)
+
+
+def _request(vm_id="vm0"):
+    return Message("write_request", vm_id, "stub0", header={"vm_id": vm_id})
+
+
+class TestAdmissionSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionSpec(min_credits=8, initial_credits=4)
+        with pytest.raises(ValueError):
+            AdmissionSpec(latency_budget=0.0)
+        with pytest.raises(ValueError):
+            AdmissionSpec(ewma_alpha=0.0)
+        with pytest.raises(ValueError):
+            AdmissionSpec(breaker_jitter=1.0)
+        with pytest.raises(ValueError):
+            AdmissionSpec(ladder_up=(0.7, 0.55, 0.85, 0.97))  # not increasing
+        with pytest.raises(ValueError):
+            AdmissionSpec(ladder_margin=0.6)  # >= first rung
+
+    def test_disabled_by_default(self):
+        assert not AdmissionSpec().enabled
+        assert DEFAULT_PLATFORM.admission.enabled is False
+
+
+class TestTenantCredits:
+    def _pool(self, **overrides):
+        fields = dict(
+            enabled=True,
+            min_credits=4,
+            initial_credits=32,
+            max_credits=256,
+            latency_budget=usec(100),
+            ewma_alpha=1.0,
+        )
+        fields.update(overrides)
+        return TenantCredits("vm0", AdmissionSpec(**fields))
+
+    def test_take_and_release(self):
+        pool = self._pool()
+        assert pool.try_take()
+        assert pool.in_use == 1
+        pool.release()
+        assert pool.in_use == 0
+
+    def test_exhaustion_blocks_further_takes(self):
+        pool = self._pool(min_credits=2, initial_credits=2, max_credits=2)
+        assert pool.try_take() and pool.try_take()
+        assert pool.exhausted
+        assert not pool.try_take()
+
+    def test_adapt_follows_littles_law(self):
+        pool = self._pool()
+        for _ in range(100):
+            pool.release()
+        pool.adapt(window=0.001)  # 100k completions/s x 100us budget = 10
+        assert pool.capacity == 10
+
+    def test_adapt_clamps_to_max(self):
+        pool = self._pool()
+        for _ in range(10_000):
+            pool.release()
+        pool.adapt(window=0.001)  # target 1000, clamped
+        assert pool.capacity == 256
+
+    def test_idle_window_does_not_starve_the_pool(self):
+        pool = self._pool()
+        for _ in range(100):
+            pool.release()
+        pool.adapt(window=0.001)
+        before = pool.capacity
+        pool.adapt(window=0.001)  # no completions, nothing outstanding
+        assert pool.capacity == before  # idle carries no rate information
+
+    def test_genuine_stall_decays_to_the_floor(self):
+        pool = self._pool()
+        for _ in range(100):
+            pool.release()
+        pool.adapt(window=0.001)
+        assert pool.try_take()  # credits out but nothing completing
+        pool.adapt(window=0.001)
+        assert pool.capacity == 4  # alpha=1.0: one stalled window floors it
+
+
+class TestCircuitBreaker:
+    def _breaker(self, sim, address="s1", jitter=0.0, **overrides):
+        spec = AdmissionSpec(
+            enabled=True,
+            breaker_threshold=3,
+            breaker_window=usec(5000),
+            breaker_open_duration=usec(2000),
+            breaker_jitter=jitter,
+            **overrides,
+        )
+        return CircuitBreaker(sim, address, spec)
+
+    def test_threshold_failures_trip_it_open(self):
+        sim = Simulator()
+        breaker = self._breaker(sim)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open" and not breaker.allow()
+        assert breaker.trips == 1
+
+    def test_stale_failures_age_out_of_the_window(self):
+        sim = Simulator()
+        breaker = self._breaker(sim)
+        breaker.record_failure()
+        breaker.record_failure()
+        _advance(sim, usec(6000))  # both fall out of the 5ms window
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_closes_on_success(self):
+        sim = Simulator()
+        breaker = self._breaker(sim)
+        for _ in range(3):
+            breaker.record_failure()
+        _advance(sim, usec(2500))
+        assert breaker.state == "half-open" and breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_half_open_retrips_on_failure(self):
+        sim = Simulator()
+        breaker = self._breaker(sim)
+        for _ in range(3):
+            breaker.record_failure()
+        _advance(sim, usec(2500))
+        breaker.record_failure()  # probe failed: straight back to open
+        assert breaker.state == "open"
+        assert breaker.trips == 2
+
+    def test_open_duration_jitter_is_deterministic_per_seed(self):
+        def open_duration(seed, address):
+            sim = Simulator()
+            breaker = self._breaker(sim, address=address, jitter=0.25, seed=seed)
+            for _ in range(3):
+                breaker.record_failure()
+            return breaker._open_until
+
+        assert open_duration(1, "s1") == open_duration(1, "s1")
+        assert open_duration(1, "s1") != open_duration(2, "s1")
+        assert open_duration(1, "s1") != open_duration(1, "s2")
+        low, high = usec(2000) * 0.75, usec(2000) * 1.25
+        assert low <= open_duration(1, "s1") <= high
+
+
+class TestBrownoutLadder:
+    def _controller(self, **overrides):
+        sim = Simulator()
+        defaults = dict(queue_target=10, latency_budget=usec(500))
+        defaults.update(overrides)
+        return sim, _controller(sim, **defaults)
+
+    def test_queue_depth_climbs_the_ladder_with_hysteresis(self):
+        _sim, controller = self._controller()
+        tier = controller.tier
+        brownout = controller.brownout
+        tier._requests = [None] * 7  # score 0.7: host-ingress rung
+        assert brownout.current_level() == 2
+        tier._requests = [None] * 6  # 0.6 is inside the hysteresis band
+        assert brownout.current_level() == 2
+        tier._requests = [None] * 5  # 0.5 < 0.7 - 0.1: drops one rung
+        assert brownout.current_level() == 1
+        tier._requests = []
+        assert brownout.current_level() == LEVEL_FULL
+        assert brownout.transitions.value == 3  # 0->2, 2->1, 1->0
+
+    def test_estimated_wait_is_the_primary_signal(self):
+        _sim, controller = self._controller()
+        controller._completion_gap = usec(50)
+        for request_id in range(20):  # 20 x 50us = 2x the 500us budget
+            controller._outstanding[request_id] = ("vm0", 0.0)
+        assert controller.estimated_wait() == pytest.approx(usec(1000))
+        assert controller.brownout.current_level() == LEVEL_SHED
+        assert controller.admit(_request()) == "overload"
+        assert controller.shed_overload.value == 1
+
+    def test_lone_tenant_starvation_stops_below_the_shed_rung(self):
+        _sim, controller = self._controller(
+            min_credits=1, initial_credits=1, max_credits=1
+        )
+        assert controller.admit(_request()) is None
+        assert controller.pools["vm0"].exhausted
+        score = controller.brownout.overload_score()
+        assert score == pytest.approx(0.9)
+        assert controller.brownout.current_level() == LEVEL_RAW_REPLICATION
+        assert not controller.compression_allowed()
+        assert controller.prefer_host_ingress()
+
+    def test_level_names_cover_the_ladder(self):
+        assert LEVEL_NAMES == (
+            "full",
+            "no-cache-fills",
+            "host-ingress",
+            "raw-replication",
+            "shed",
+        )
+
+    def test_credit_shed_replies_before_the_ladder_engages(self):
+        _sim, controller = self._controller(
+            min_credits=2, initial_credits=2, max_credits=2
+        )
+        assert controller.admit(_request()) is None
+        assert controller.admit(_request()) is None
+        assert controller.admit(_request()) == "credits"
+        assert controller.shed_credits.value == 1
+        assert controller.shed_total == 1
+
+    def test_release_is_idempotent(self):
+        _sim, controller = self._controller()
+        message = _request()
+        assert controller.admit(message) is None
+        controller.release(message)
+        assert controller.pools["vm0"].in_use == 0
+        controller.release(message)  # double release: a no-op
+        assert controller.pools["vm0"].in_use == 0
+
+    def test_idle_gap_does_not_poison_the_wait_estimate(self):
+        sim, controller = self._controller()
+        first, second, third = _request(), _request(), _request()
+        controller.admit(first)
+        _advance(sim, usec(10))
+        controller.release(first)
+        controller.admit(second)
+        _advance(sim, usec(10))
+        controller.release(second)
+        gap_before = controller._completion_gap
+        _advance(sim, msec(50))  # a long idle stretch between waves
+        controller.admit(third)
+        controller.release(third)
+        # The 50ms silence is not a drain-rate observation: the EWMA
+        # must still reflect the ~10us busy-period gap.
+        assert controller._completion_gap == pytest.approx(gap_before)
+
+
+class TestBulkhead:
+    def test_background_work_proceeds_when_idle(self):
+        sim = Simulator()
+        controller = _controller(sim)
+        done = []
+
+        def maintenance():
+            yield from controller.bulkhead.acquire()
+            done.append(sim.now)
+
+        sim.run(until=sim.process(maintenance()))
+        assert done == [0.0]
+        assert controller.bulkhead.deferrals.value == 0
+        assert controller.bulkhead.admissions.value == 1
+
+    def test_starved_pool_paces_background_work(self):
+        sim = Simulator()
+        controller = _controller(
+            sim,
+            min_credits=1,
+            initial_credits=1,
+            max_credits=1,
+            maintenance_pause=usec(100),
+        )
+        message = _request()
+        assert controller.admit(message) is None  # pool now exhausted
+        done = []
+
+        def maintenance():
+            yield from controller.bulkhead.acquire()
+            done.append(sim.now)
+
+        def foreground():
+            yield sim.timeout(usec(350))
+            controller.release(message)
+
+        sim.process(maintenance())
+        sim.process(foreground())
+        sim.run()
+        assert done and done[0] >= usec(350)
+        assert controller.bulkhead.deferrals.value >= 3
+
+
+class TestProbeDelay:
+    def test_deterministic_and_within_band(self):
+        first = probe_delay(FAULT_SEED, msec(1), 0.35, "s1", 1)
+        assert first == probe_delay(FAULT_SEED, msec(1), 0.35, "s1", 1)
+        assert msec(1) * 0.65 <= first <= msec(1) * 1.35
+
+    def test_decorrelates_across_seed_address_and_count(self):
+        base = probe_delay(1, msec(1), 0.35, "s1", 1)
+        assert base != probe_delay(2, msec(1), 0.35, "s1", 1)
+        assert base != probe_delay(1, msec(1), 0.35, "s2", 1)
+        assert base != probe_delay(1, msec(1), 0.35, "s1", 2)
+
+    def test_jitter_unit_is_a_pure_function(self):
+        token = address_token("storage3")
+        assert address_token("storage3") == token  # process-stable hash
+        assert jitter_unit(5, token, 2) == jitter_unit(5, token, 2)
+        assert 0.0 <= jitter_unit(5, token, 2) < 1.0
+
+
+class TestHeartbeatProbeJitter:
+    def _suspect(self, seed):
+        sim = Simulator()
+        testbed = Testbed(sim, n_storage_servers=5)
+        tier = CpuOnlyMiddleTier(sim, testbed, n_workers=2)
+        monitor = HeartbeatMonitor(
+            sim, tier, interval=msec(1), timeout=msec(1), seed=seed
+        )
+        victim = testbed.storage_servers[1]
+        victim.fail()
+        sim.run(until=sim.now + msec(5))
+        assert victim.address in monitor.suspected
+        schedule = monitor._next_probe[victim.address]
+        monitor.stop()
+        sim.run(until=sim.now + msec(3))
+        return victim.address, schedule
+
+    def test_reprobe_schedule_is_seeded_and_decorrelated(self):
+        address_a, schedule_a = self._suspect(seed=1)
+        address_b, schedule_b = self._suspect(seed=2)
+        assert address_a == address_b  # identical runs up to the jitter
+        assert schedule_a != schedule_b
+        _address, replay = self._suspect(seed=1)
+        assert replay == schedule_a
+
+
+class TestMatcherMetrics:
+    def _matcher(self, sim):
+        from repro.params import NetworkSpec
+
+        spec = NetworkSpec()
+        a = RoceEndpoint(sim, NetworkPort(sim, gbps(100), "a.port"), "a", spec=spec)
+        b = RoceEndpoint(sim, NetworkPort(sim, gbps(100), "b.port"), "b", spec=spec)
+        return ResponseMatcher(sim, a.connect(b))
+
+    def test_series_registered_under_tier_matcher(self):
+        sim = Simulator()
+        registry = MetricsRegistry().attach(sim)
+        matcher = self._matcher(sim)
+        assert (
+            registry.get("tier.matcher.late_replies", component="middletier")
+            is matcher.late_replies
+        )
+        assert (
+            registry.get("tier.matcher.unexpected_replies", component="middletier")
+            is matcher.unexpected_replies
+        )
+        assert (
+            registry.get("tier.matcher.forgotten_evicted", component="middletier")
+            is matcher.forgotten_evicted
+        )
+
+    def test_forgotten_ring_evicts_oldest_first(self, monkeypatch):
+        monkeypatch.setattr(ResponseMatcher, "FORGOTTEN_LIMIT", 4)
+        sim = Simulator()
+        matcher = self._matcher(sim)
+        for request_id in range(6):
+            matcher.expect(request_id)
+            matcher.forget(request_id)
+        assert list(matcher._forgotten) == [2, 3, 4, 5]
+        assert matcher.forgotten_evicted.value == 2
+
+
+def _tight_platform(**overrides):
+    defaults = dict(
+        enabled=True,
+        min_credits=2,
+        initial_credits=2,
+        max_credits=2,
+        latency_budget=msec(50),
+        adapt_interval=msec(10),
+    )
+    defaults.update(overrides)
+    return dataclasses.replace(DEFAULT_PLATFORM, admission=AdmissionSpec(**defaults))
+
+
+class TestShedEndToEnd:
+    def test_smartds_burst_sheds_explicitly_and_conserves_bytes(self):
+        """The tier-1 guard of docs/robustness.md: a burst beyond the
+        credit pool yields explicit ``status="shed"`` replies, every
+        request terminates, and flow-tagged bytes balance across the
+        ingress link (the conftest drain audit re-checks the ledger)."""
+        sim = Simulator()
+        platform = _tight_platform()
+        testbed = Testbed(sim, platform, n_storage_servers=5)
+        tier = SmartDsMiddleTier(sim, testbed, n_ports=1)
+        ledger = FlowLedger(sim, name="shed-ledger")
+        client_port = NetworkPort(sim, gbps(100), "c0.port")
+        client_port.attach_ledger(ledger)
+        tier_port = tier.client_endpoint.port
+        tier_port.attach_ledger(ledger)
+        client = RoceEndpoint(sim, client_port, "c0", spec=platform.network)
+        qp = tier.attach_client(client)
+        tier.start()
+        factory = WriteRequestFactory(platform, seed=FAULT_SEED)
+        n = 40
+        replies = []
+
+        def send_all():
+            for index in range(n):
+                message = factory.make()
+                message.flow = f"req-{index}"
+                yield qp.send(message)
+
+        def recv_all():
+            while len(replies) < n:
+                replies.append((yield qp.recv()))
+
+        sim.process(send_all())
+        sim.run(until=sim.process(recv_all()))
+        sim.run()
+
+        assert len(replies) == n  # zero hung requests
+        statuses = [reply.header.get("status", "ok") for reply in replies]
+        assert statuses.count("ok") > 0
+        assert statuses.count("shed") > 0
+        assert set(statuses) <= {"ok", "shed"}
+        admission = tier.admission
+        assert admission is not None
+        assert admission.shed_total == statuses.count("shed")
+        assert admission.admitted.value == statuses.count("ok")
+        assert not admission._outstanding  # every credit returned
+        # Byte conservation per flow: what the client transmitted is
+        # exactly what the tier's port received, shed requests included.
+        for index in range(n):
+            ledger.assert_balanced(
+                f"req-{index}", [client_port.tx.name], [tier_port.rx.name]
+            )
+        # Shed replies keep the flow tag, so the shed path stays visible
+        # to byte-conservation audits end to end.
+        shed_flows = {reply.flow for reply in replies if reply.header.get("status") == "shed"}
+        assert shed_flows
+        for flow in shed_flows:
+            assert ledger.total(flow, client_port.rx.name) > 0
+
+    def test_shed_replies_are_deterministic(self):
+        def signature():
+            sim = Simulator()
+            platform = _tight_platform()
+            testbed = Testbed(sim, platform, n_storage_servers=5)
+            tier = SmartDsMiddleTier(sim, testbed, n_ports=1)
+            client_port = NetworkPort(sim, gbps(100), "c0.port")
+            client = RoceEndpoint(sim, client_port, "c0", spec=platform.network)
+            qp = tier.attach_client(client)
+            tier.start()
+            factory = WriteRequestFactory(platform, seed=FAULT_SEED)
+            replies = []
+
+            def send_all():
+                for _ in range(24):
+                    yield qp.send(factory.make())
+
+            def recv_all():
+                while len(replies) < 24:
+                    replies.append((yield qp.recv()))
+
+            sim.process(send_all())
+            sim.run(until=sim.process(recv_all()))
+            sim.run()
+            return tuple(
+                (reply.header.get("block_id"), reply.header.get("status", "ok"))
+                for reply in sorted(replies, key=lambda r: r.header.get("in_reply_to", 0))
+            )
+
+        first = signature()
+        assert any(status == "shed" for _lba, status in first)
+        assert first == signature()
+
+
+class TestOverloadExperimentCell:
+    def test_sweep_point_acceptance(self):
+        from repro.experiments.ext_overload import (
+            TERMINAL_STATUSES,
+            calibrate_saturation,
+            measure_point,
+            overload_platform,
+        )
+
+        platform = overload_platform()
+        saturation = calibrate_saturation(platform, 128)
+        assert saturation > 0
+        at_1x = measure_point(saturation, 300, platform)
+        at_2x = measure_point(2.0 * saturation, 300, platform)
+        for point in (at_1x, at_2x):
+            assert point["answered"] == point["offered"] == 300
+            assert set(point["statuses"]) <= TERMINAL_STATUSES
+        # The goodput plateau: 2x offered load does not collapse the tier.
+        assert at_2x["goodput"] >= 0.9 * at_1x["goodput"]

@@ -92,6 +92,77 @@ class TestRetryPolicy:
             RecoverySpec(hbm_high_watermark=0.5, hbm_low_watermark=0.9)
 
 
+class TestRetryDeadlineEdges:
+    """Deadline-exhaustion corners of the retry machinery."""
+
+    def test_timeout_for_is_zero_once_the_deadline_is_spent(self):
+        policy = RetryPolicy(attempt_timeout=usec(80), deadline=usec(100))
+        assert policy.remaining(usec(150)) == 0.0
+        assert policy.timeout_for(3, elapsed=usec(150)) == 0.0
+        assert policy.timeout_for(3, elapsed=usec(100)) == 0.0
+
+    def test_remaining_is_unbounded_for_write_policies(self):
+        writes = RetryPolicy.for_writes(RecoverySpec())
+        assert math.isinf(writes.remaining(msec(500)))
+        assert not writes.deadline_expired(msec(500))
+
+    def test_near_zero_read_budget_degrades_after_one_attempt(self):
+        """A read whose deadline is consumed by its very first attempt
+        must spend exactly that attempt and then answer "unavailable" —
+        no second probe, no backoff spin, no silence."""
+        sim = Simulator()
+        testbed = Testbed(sim, n_storage_servers=5)
+        tier = CpuOnlyMiddleTier(sim, testbed, n_workers=2)
+        driver, locations = _write_then_locate(sim, tier, testbed)
+        tier.read_retry = RetryPolicy(
+            attempt_timeout=msec(1), deadline=usec(1), max_attempts=4, jitter=0.0
+        )
+        testbed.server(locations[0]).fail()
+
+        start = sim.now
+        result = sim.run(until=driver.run_reads([0], concurrency=1))
+        assert result.requests == 1
+        assert result.payload_bytes == 0
+        assert tier.reads_unavailable.value == 1
+        assert tier.read_failovers.value == 1  # the single expired attempt
+        assert sim.now - start <= msec(1)
+        sim.run()
+
+    def test_all_breakers_open_bounds_an_unbounded_write_deadline(self):
+        """Write retries have deadline=inf (durability beats latency);
+        the circuit breakers must still bound the loop when every server
+        is doomed, releasing every replication claim on the way out."""
+        from repro.experiments.ext_overload import overload_platform
+
+        sim = Simulator()
+        testbed = Testbed(sim, overload_platform(), n_storage_servers=5)
+        tier = CpuOnlyMiddleTier(sim, testbed, n_workers=2)
+        admission = tier.admission
+        assert admission is not None
+        for server in testbed.storage_servers:
+            for _ in range(admission.spec.breaker_threshold):
+                admission.record_server_failure(server.address)
+            assert not admission.breaker_for(server.address).allow()
+        message = WriteRequestFactory(testbed.platform, seed=FAULT_SEED).make()
+        first = testbed.storage_servers[0]
+        testbed.policy.claim(first)
+        errors = []
+
+        def attempt():
+            try:
+                yield from tier._write_replica(first, message, message.payload)
+            except RuntimeError as err:
+                errors.append(str(err))
+
+        sim.run(until=sim.process(attempt()))
+        assert len(errors) == 1  # bounded, despite deadline=inf
+        assert "no healthy storage server" in errors[0] or "short-circuited" in errors[0]
+        assert admission.short_circuits.value == len(testbed.storage_servers)
+        for server in testbed.storage_servers:
+            assert testbed.policy.outstanding(server) == 0, server.address
+        sim.run()
+
+
 def _linked_pair(sim):
     spec = NetworkSpec()
     a = RoceEndpoint(sim, NetworkPort(sim, gbps(100), "a.port"), "a", spec=spec)

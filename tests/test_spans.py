@@ -84,7 +84,7 @@ class TestSpan:
         assert late.parent_id == root.span_id
 
     def test_outcome_vocabulary(self):
-        assert OUTCOMES == ("ok", "degraded", "retried", "failed")
+        assert OUTCOMES == ("ok", "degraded", "retried", "failed", "shed")
 
 
 class TestSpanCollector:
