@@ -1,0 +1,28 @@
+"""Sharded multi-tier cluster: segment directory + stale-map routing.
+
+The paper's testbed has one middle-tier server (§5.1). This package
+scales the tier horizontally (``docs/scaling.md``):
+
+- :class:`~repro.cluster.directory.SegmentDirectory` places 32 GB
+  segments onto shards with a consistent-hash ring of virtual nodes
+  plus explicit per-segment overrides, handing out versioned
+  :class:`~repro.cluster.directory.RouteMap` snapshots;
+- :class:`~repro.cluster.sharded.ShardedCluster` instantiates N
+  middle-tier servers (any design flavor) over a shared
+  :class:`~repro.middletier.cluster.Testbed` and installs the
+  shard-ownership guard that answers misrouted requests with
+  ``status="wrong_shard"``;
+- :class:`~repro.workloads.routing.RoutingClient` (in
+  :mod:`repro.workloads`) caches the route map, routes by segment, and
+  retries on ``wrong_shard`` after refetching.
+"""
+
+from repro.cluster.directory import RouteMap, SegmentDirectory, stable_hash
+from repro.cluster.sharded import ShardedCluster
+
+__all__ = [
+    "RouteMap",
+    "SegmentDirectory",
+    "ShardedCluster",
+    "stable_hash",
+]

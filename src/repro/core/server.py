@@ -175,6 +175,8 @@ class SmartDsMiddleTier(MiddleTierServer):
         while True:
             message: Message = yield qp.recv()
             message.header["arrival_port"] = port_index
+            if self._bounce_if_misrouted(qp, message):
+                continue
             if self._admit(qp, message):
                 self._requests.put((qp, message))
 
@@ -247,9 +249,10 @@ class SmartDsMiddleTier(MiddleTierServer):
         yield from self.api.poll(completion)
         message = completion.message
         message.header["arrival_port"] = port_index
-        if not self._admit(qp, message):
-            # Shed at ingress: the split already landed the payload in
-            # HBM — recycle the buffer, keep the descriptor window full.
+        if self._bounce_if_misrouted(qp, message) or not self._admit(qp, message):
+            # Bounced or shed at ingress: the split already landed the
+            # payload in HBM — recycle the buffer, keep the descriptor
+            # window full.
             self.api.dev_free(d_buf)
             self._post_recv(port_index, qp)
             return

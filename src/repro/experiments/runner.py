@@ -19,6 +19,7 @@ from repro.experiments import (
     ext_bluefield3,
     ext_cache,
     ext_chaos,
+    ext_cluster,
     ext_load_latency,
     ext_maintenance,
     ext_multitenancy,
@@ -40,6 +41,7 @@ EXPERIMENTS: dict[str, typing.Any] = {
     "ext-bf3": ext_bluefield3,
     "ext_cache": ext_cache,
     "ext_chaos": ext_chaos,
+    "ext_cluster": ext_cluster,
     "ext-load": ext_load_latency,
     "ext-maint": ext_maintenance,
     "ext-tenants": ext_multitenancy,

@@ -155,6 +155,13 @@ class MiddleTierServer(abc.ABC):
         #: Set by :meth:`repro.middletier.maintenance.HeartbeatMonitor.watch`;
         #: replica selection skips servers it suspects.
         self.health: typing.Any = None
+        #: Shard-ownership guard set by :class:`repro.cluster.ShardedCluster`
+        #: (``None`` on an undirected tier — the default). Called with each
+        #: arriving request; a non-``None`` return means "not my segment"
+        #: and carries the reply header fields (live owner, map version)
+        #: for the client's stale-map refetch (``docs/scaling.md``).
+        self.route_guard: typing.Callable[[Message], dict | None] | None = None
+        self.wrong_shard_replies = Counter(f"{address}.wrong-shard")
         self.requests_completed = Counter(f"{address}.completed")
         self.payload_bytes_served = Counter(f"{address}.payload-bytes")
         #: Optional hot-block read cache (see :meth:`attach_cache`).
@@ -180,6 +187,7 @@ class MiddleTierServer(abc.ABC):
         if registry is not None:
             labels = dict(component="middletier", design=self.design_name, address=address)
             registry.register_instance(self.requests_completed, "tier.requests_completed", **labels)
+            registry.register_instance(self.wrong_shard_replies, "tier.wrong_shard_replies", **labels)
             registry.register_instance(self.payload_bytes_served, "tier.payload_bytes", **labels)
             registry.register_instance(self.failovers, "tier.write_failovers", **labels)
             registry.register_instance(self.read_failovers, "tier.read_failovers", **labels)
@@ -263,8 +271,32 @@ class MiddleTierServer(abc.ABC):
     def _dispatch(self, qp: QueuePair) -> typing.Generator:
         while True:
             message: Message = yield qp.recv()
+            if self._bounce_if_misrouted(qp, message):
+                continue
             if self._admit(qp, message):
                 self._requests.put((qp, message))
+
+    def _bounce_if_misrouted(self, qp: QueuePair, message: Message) -> bool:
+        """Route-guard check shared by every ingress flavor.
+
+        Shard ownership is checked before admission: a misrouted request
+        is a routing error to correct, not load to shed. Subclasses with
+        their own ingress paths (the AAMS mixed-recv and control queues)
+        must call this before `_admit` (``docs/scaling.md``).
+        """
+        if self.route_guard is None or message.kind not in (
+            "write_request",
+            "read_request",
+        ):
+            return False
+        redirect = self.route_guard(message)
+        if redirect is None:
+            return False
+        self.sim.process(
+            self._send_wrong_shard(qp, message, redirect),
+            name=f"{self.address}.wrong-shard",
+        )
+        return True
 
     # -- admission ---------------------------------------------------------
 
@@ -291,6 +323,28 @@ class MiddleTierServer(abc.ABC):
         if message.span is not None:
             shed_span = message.span.child("admission.shed", reason=reason)
             shed_span.finish("shed")
+        yield qp.send(reply)
+
+    def _send_wrong_shard(
+        self, qp: QueuePair, message: Message, redirect: dict
+    ) -> typing.Generator:
+        """Bounce a misrouted request back with the current owner.
+
+        The redirect headers (owner address, directory map version) come
+        from the cluster's route guard; the client refetches the route
+        map and retries (``docs/scaling.md``).
+        """
+        kind = "write_reply" if message.kind == "write_request" else "read_reply"
+        reply = message.reply(kind, status="wrong_shard", **redirect)
+        # Like shed replies, wrong-shard bounces carry the request's flow
+        # tag so FlowLedger conservation audits see the full exchange.
+        reply.flow = message.flow
+        self.wrong_shard_replies.add()
+        if message.span is not None:
+            bounce = message.span.child(
+                "route.wrong_shard", shard=self.address, **redirect
+            )
+            bounce.finish("retried")
         yield qp.send(reply)
 
     def _release_admission(self, message: Message) -> None:

@@ -29,26 +29,44 @@ class Testbed:
         sim: "Simulator",
         platform: PlatformSpec | None = None,
         n_storage_servers: int | None = None,
+        servers: typing.Sequence[StorageServer] | None = None,
     ) -> None:
         self.sim = sim
         self.platform = platform or PlatformSpec()
-        count = n_storage_servers or self.platform.storage.replication
+        if servers is not None:
+            if n_storage_servers is not None and n_storage_servers != len(servers):
+                raise ValueError(
+                    f"n_storage_servers={n_storage_servers} disagrees with "
+                    f"{len(servers)} explicit servers"
+                )
+            count = len(servers)
+        else:
+            count = n_storage_servers or self.platform.storage.replication
         if count < self.platform.storage.replication:
             raise ValueError(
                 f"{count} storage servers cannot host "
                 f"{self.platform.storage.replication}-way replication"
             )
-        self.storage_servers = [
-            StorageServer(sim, f"storage{i}", network_spec=self.platform.network)
-            for i in range(count)
-        ]
+        self.storage_servers = (
+            list(servers)
+            if servers is not None
+            else [
+                StorageServer(sim, f"storage{i}", network_spec=self.platform.network)
+                for i in range(count)
+            ]
+        )
+        self._by_address: dict[str, StorageServer] = {}
+        for server in self.storage_servers:
+            if server.address in self._by_address:
+                raise ValueError(f"duplicate storage server address {server.address!r}")
+            self._by_address[server.address] = server
         self.policy = ReplicationPolicy(
             self.storage_servers, replication=self.platform.storage.replication
         )
 
     def server(self, address: str) -> StorageServer:
-        """Look a storage server up by address."""
-        for candidate in self.storage_servers:
-            if candidate.address == address:
-                return candidate
-        raise KeyError(f"no storage server {address!r}")
+        """Look a storage server up by address (O(1))."""
+        try:
+            return self._by_address[address]
+        except KeyError:
+            raise KeyError(f"no storage server {address!r}") from None

@@ -286,6 +286,58 @@ class AdmissionSpec:
 
 
 @dataclasses.dataclass(frozen=True)
+class ClusterSpec:
+    """Scale-out of the middle tier itself (``docs/scaling.md``).
+
+    The paper evaluates a single middle-tier server (§5.1); a tier that
+    "serves heavy traffic from millions of users" scales horizontally.
+    :mod:`repro.cluster` places 32 GB segments onto N middle-tier shards
+    through a consistent-hash :class:`~repro.cluster.SegmentDirectory`
+    and routes clients with versioned route maps plus stale-map retry.
+
+    The default is 1 shard with the directory bypassed: clients send
+    straight to the only tier, no ownership guard is installed, and
+    every existing experiment behaves exactly as before.
+    """
+
+    n_shards: int = 1
+    #: Virtual nodes per shard on the hash ring. More vnodes smooth the
+    #: per-shard arc share (relative imbalance ~ 1/sqrt(vnodes)).
+    vnodes_per_shard: int = 128
+    #: Simulated latency of one route-map fetch from the directory
+    #: service (clients pay it on startup and on every stale-map refetch).
+    map_fetch_latency: float = usec(3.0)
+    #: Stale-map retry budget: attempts a client may spend rerouting one
+    #: request after ``wrong_shard`` replies before surfacing the failure.
+    max_route_retries: int = 4
+    #: Install the ownership guard and route through the directory even
+    #: with a single shard (tests use this to prove the 1-shard ring is
+    #: behavior-identical to the undirected tier).
+    force_directory: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError(f"need at least one shard, got {self.n_shards}")
+        if self.vnodes_per_shard < 1:
+            raise ValueError(
+                f"need at least one virtual node per shard, got {self.vnodes_per_shard}"
+            )
+        if self.map_fetch_latency < 0:
+            raise ValueError(
+                f"map fetch latency must be non-negative, got {self.map_fetch_latency!r}"
+            )
+        if self.max_route_retries < 1:
+            raise ValueError(
+                f"need at least one route retry, got {self.max_route_retries}"
+            )
+
+    @property
+    def directory_bypassed(self) -> bool:
+        """Single-shard fast path: no guard, no lookups, no refetches."""
+        return self.n_shards == 1 and not self.force_directory
+
+
+@dataclasses.dataclass(frozen=True)
 class WorkloadSpec:
     """The paper's I/O shape."""
 
@@ -308,6 +360,7 @@ class PlatformSpec:
     recovery: RecoverySpec = dataclasses.field(default_factory=RecoverySpec)
     cache: CacheSpec = dataclasses.field(default_factory=CacheSpec)
     admission: AdmissionSpec = dataclasses.field(default_factory=AdmissionSpec)
+    cluster: ClusterSpec = dataclasses.field(default_factory=ClusterSpec)
 
 
 #: The default platform used by all experiments.

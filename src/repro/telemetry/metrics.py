@@ -183,6 +183,23 @@ def jain_fairness(allocations: typing.Sequence[float]) -> float:
     return total * total / (len(allocations) * squares)
 
 
+def imbalance(loads: typing.Sequence[float]) -> float:
+    """Max/mean load ratio across shards (``docs/scaling.md``).
+
+    1.0 means perfectly even; k means the hottest shard carries k times
+    the average. The cluster gauges report this over per-shard segment
+    heat; an all-zero (idle) load vector reads as balanced.
+    """
+    if not loads:
+        raise ValueError("need at least one load")
+    if any(load < 0 for load in loads):
+        raise ValueError("loads must be non-negative")
+    total = sum(loads)
+    if total == 0:
+        return 1.0  # an idle cluster is trivially balanced
+    return max(loads) * len(loads) / total
+
+
 class BandwidthMeter:
     """Accumulates (timestamp, bytes) events and reports achieved rates."""
 

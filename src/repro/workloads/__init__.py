@@ -9,6 +9,10 @@
 - :class:`~repro.workloads.generators.SkewedReadFactory` draws reads
   from a Zipf distribution over the written LBA range (hot-block cache
   experiments);
+- :class:`~repro.workloads.routing.RoutingClient` is the cluster-aware
+  driver: it caches the segment directory's route map, routes each
+  request to its owning shard, and retries on ``wrong_shard`` replies
+  (``docs/scaling.md``);
 - :class:`~repro.workloads.mlc.MlcInjector` reproduces the Intel Memory
   Latency Checker methodology of §3.1.2/§5.3: dummy memory requests
   injected with a configurable inter-request delay.
@@ -22,12 +26,14 @@ from repro.workloads.generators import (
     WriteRequestFactory,
 )
 from repro.workloads.mlc import MlcInjector
+from repro.workloads.routing import RoutingClient
 
 __all__ = [
     "ClientDriver",
     "DriverResult",
     "MlcInjector",
     "OpenLoopDriver",
+    "RoutingClient",
     "SkewedReadFactory",
     "WriteRequestFactory",
 ]

@@ -40,10 +40,14 @@ class WriteRequestFactory:
         latency_sensitive_fraction: float = 0.0,
         vm_id: str = "vm0",
         seed: int = 0,
+        spread_segments: int = 1,
     ) -> None:
         if not 0.0 <= latency_sensitive_fraction <= 1.0:
             raise ValueError("latency_sensitive_fraction must be in [0, 1]")
+        if spread_segments < 1:
+            raise ValueError(f"spread_segments must be >= 1, got {spread_segments}")
         self.platform = platform or PlatformSpec()
+        self.spread_segments = spread_segments
         self.ratio_sampler = ratio_sampler or RatioSampler.constant(2.1)
         self.blocks = list(blocks) if blocks is not None else None
         if self.blocks is not None and not self.blocks:
@@ -61,8 +65,18 @@ class WriteRequestFactory:
             payload = Payload.from_bytes(data)
         else:
             payload = Payload.synthetic(workload.block_size, self.ratio_sampler.sample())
-        lba = self._next_lba
+        index = self._next_lba
         self._next_lba += 1
+        if self.spread_segments == 1:
+            lba = index
+        else:
+            # Interleave the sequential stream across the first N
+            # segments so a sharded cluster sees traffic on every shard
+            # instead of one 32 GB segment soaking everything.
+            blocks_per_segment = self.platform.storage.segment_bytes // workload.block_size
+            lba = (index % self.spread_segments) * blocks_per_segment + (
+                index // self.spread_segments
+            )
         chunk_blocks = self.platform.storage.chunk_bytes // workload.block_size
         latency_sensitive = self._rng.random() < self.latency_sensitive_fraction
         return Message(

@@ -117,6 +117,7 @@ class TestRunnerCli:
             "fig10",
             "sec55",
             "ablations",
+            "ext_cluster",
         } <= set(EXPERIMENTS)
 
     def test_cli_runs_the_analytic_experiment(self, capsys):
