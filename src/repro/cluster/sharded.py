@@ -194,6 +194,21 @@ class ShardedCluster:
             raise KeyError(f"no shard {address!r}")
         return self._storage_groups[address]
 
+    def slo_monitors(self) -> dict[str, typing.Any]:
+        """Each shard's own SLO monitor, by address (``None`` entries
+        when the platform declares no SLOs)."""
+        return {tier.address: tier.slo for tier in self.tiers}
+
+    def slo_verdicts(self) -> dict[str, dict]:
+        """Per-shard SLO verdicts — the blast-radius view: a killed
+        shard burns its own error budget while healthy shards' budgets
+        stay intact (``docs/observability.md``)."""
+        return {
+            tier.address: tier.slo.verdict()
+            for tier in self.tiers
+            if tier.slo is not None
+        }
+
     def segment_of(self, message: Message) -> int:
         """The segment a request addresses (header field or derived)."""
         segment_id = message.header.get("segment_id")

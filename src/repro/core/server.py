@@ -386,7 +386,7 @@ class SmartDsMiddleTier(MiddleTierServer):
             yield qp.send(response)
             if hit_span is not None:
                 hit_span.finish(nbytes=payload.size)
-            self._complete(message)
+            self._complete(message, nbytes=payload.size)
             self.cache_hit_latency.record(self.sim.now - started)
         finally:
             self.cache.release(entry)
@@ -426,6 +426,10 @@ class SmartDsMiddleTier(MiddleTierServer):
             if parent is not None:
                 parent.event("read.not_found", outcome="failed")
             self._release_admission(message)
+            if self._slo_monitors:
+                self._observe_completion(
+                    message, "not_found", latency=self.sim.now - started
+                )
             yield qp.send(message.reply("read_reply", status="not_found"))
             return
         policy = self.read_retry
@@ -444,6 +448,10 @@ class SmartDsMiddleTier(MiddleTierServer):
             ):
                 self.reads_unavailable.add()
                 self._release_admission(message)
+                if self._slo_monitors:
+                    self._observe_completion(
+                        message, "unavailable", latency=self.sim.now - started
+                    )
                 unavail_span = None
                 if parent is not None:
                     unavail_span = parent.child(
@@ -509,6 +517,10 @@ class SmartDsMiddleTier(MiddleTierServer):
                     if attempt_span is not None:
                         attempt_span.finish("failed")
                     self._release_admission(message)
+                    if self._slo_monitors:
+                        self._observe_completion(
+                            message, "not_found", latency=self.sim.now - started
+                        )
                     yield qp.send(message.reply("read_reply", status="not_found"))
                     return
             else:
@@ -545,7 +557,7 @@ class SmartDsMiddleTier(MiddleTierServer):
             yield qp.send(response)
             if host_span is not None:
                 host_span.finish("degraded", nbytes=payload.size)
-            self._complete(message)
+            self._complete(message, nbytes=payload.size)
             if self.cache is not None:
                 self.cache_miss_latency.record(self.sim.now - started)
             return
@@ -576,7 +588,7 @@ class SmartDsMiddleTier(MiddleTierServer):
             response.payload = payload
             response.span = parent
             yield qp.send(response)
-            self._complete(message)
+            self._complete(message, nbytes=payload.size)
             if self.cache is not None:
                 self.cache_miss_latency.record(self.sim.now - started)
         finally:

@@ -87,3 +87,39 @@ def dump_metrics(registries: typing.Sequence[typing.Any], path: str) -> None:
     """Write :func:`metrics_to_dict` to `path` as JSON."""
     with open(path, "w") as handle:
         json.dump(metrics_to_dict(registries), handle, indent=2, sort_keys=True)
+
+
+def dump_flight(recorders: typing.Sequence[typing.Any], path: str) -> None:
+    """Write every flight recorder's ring to `path`, schema-validated.
+
+    One entry per simulator's recorder, in creation order. Like
+    ``--bench``, the dump refuses to write a malformed document
+    (``repro.telemetry.schemas``).
+    """
+    from repro.telemetry.schemas import validate_flight
+
+    document = {"recorders": [recorder.to_dict() for recorder in recorders]}
+    validate_flight(document)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+
+
+def dump_slo(monitors: typing.Sequence[typing.Any], path: str) -> None:
+    """Write every SLO monitor's budgets/alerts to `path`, schema-validated."""
+    from repro.telemetry.schemas import validate_slo
+
+    document = {"monitors": [monitor.to_dict() for monitor in monitors]}
+    validate_slo(document)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+
+
+def dump_profile(profile: typing.Any, path: str) -> None:
+    """Write a :class:`~repro.telemetry.profiler.SimProfile` dump to `path`,
+    schema-validated."""
+    from repro.telemetry.schemas import validate_profile
+
+    document = profile.to_dict()
+    validate_profile(document)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)

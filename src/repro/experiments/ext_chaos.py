@@ -32,10 +32,11 @@ import typing
 from repro.core import SmartDsMiddleTier
 from repro.experiments.common import ExperimentResult
 from repro.middletier import HeartbeatMonitor, Testbed
-from repro.params import DEFAULT_PLATFORM, PlatformSpec
+from repro.params import DEFAULT_PLATFORM, PlatformSpec, SLOSpec
 from repro.sim import Simulator
 from repro.sim.debug import FaultPlan
 from repro.telemetry.metrics import ratio
+from repro.telemetry.slo import SLOMonitor
 from repro.telemetry.reporting import format_table
 from repro.units import kib, msec, to_usec, usec
 from repro.workloads import ClientDriver, WriteRequestFactory
@@ -108,6 +109,14 @@ def measure_cell(
     plan = build_fault_plan(seed, intensity)
     rng = random.Random(seed * 104_729 + int(intensity * 1000) + 1)
     sim = Simulator()
+    # Session-attached SLO monitor (before the tier is built, so the
+    # tier adopts it): the healthy baseline must stay alert-free, and
+    # chaos cells report how hard the availability budget burns.
+    slo_monitor = SLOMonitor(
+        sim,
+        (SLOSpec(name="availability", signal="availability", op="any", target=0.99),),
+        name=f"chaos-i{intensity:.1f}-s{seed}",
+    ).attach()
     testbed = Testbed(sim, platform, n_storage_servers=5)
     tier = SmartDsMiddleTier(sim, testbed, n_ports=1, fault_plan=plan)
     tier.retain_writes = True
@@ -173,6 +182,10 @@ def measure_cell(
         ),
         "failures_detected": monitor.failures_detected.value,
         "recoveries_detected": monitor.recoveries_detected.value,
+        "slo_alerts": len(slo_monitor.alerts),
+        "slo_fast_burn": len(slo_monitor.alerts_for("availability", "fast_burn")),
+        "slo_budget_remaining": slo_monitor.budget_remaining("availability"),
+        "slo_met": slo_monitor.verdict()["availability"]["met"],
     }
 
 
@@ -233,6 +246,7 @@ def run(quick: bool = False, platform: PlatformSpec | None = None) -> Experiment
                     cell["write_failovers"],
                     cell["read_failovers"],
                     f"{cell['degraded_fraction']:.1%}",
+                    cell["slo_alerts"],
                 ]
             )
     chaos_table = format_table(
@@ -246,6 +260,7 @@ def run(quick: bool = False, platform: PlatformSpec | None = None) -> Experiment
             "w-failovers",
             "r-failovers",
             "degraded",
+            "SLO alerts",
         ],
         rows,
     )
@@ -280,14 +295,27 @@ def run(quick: bool = False, platform: PlatformSpec | None = None) -> Experiment
     )
 
     worst_durability = min(cell["durability"] for cell in cells)
+    healthy_quiet = all(
+        cell["slo_alerts"] == 0 for cell in cells if cell["intensity"] == 0.0
+    )
+    chaos_alerts = sum(
+        cell["slo_alerts"] for cell in cells if cell["intensity"] > 0.0
+    )
     text = (
         f"{chaos_table}\n\n"
-        f"acked-write durability across all cells: {worst_durability:.0%}\n\n"
+        f"acked-write durability across all cells: {worst_durability:.0%}\n"
+        f"availability SLO quiet in every healthy cell: {healthy_quiet}; "
+        f"alerts across chaos cells: {chaos_alerts}\n\n"
         f"graceful degradation under shrunk HBM (write burst, no crashes):\n{deg_table}"
     )
     return ExperimentResult(
         experiment_id="ext_chaos",
         title="Failure recovery: durability, availability, degradation (§2.2.3)",
         text=text,
-        data={"cells": cells, "degradation": degradation},
+        data={
+            "cells": cells,
+            "degradation": degradation,
+            "healthy_cells_quiet": healthy_quiet,
+            "chaos_cell_alerts": chaos_alerts,
+        },
     )

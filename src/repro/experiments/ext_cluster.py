@@ -30,7 +30,7 @@ import typing
 
 from repro.experiments.common import ExperimentResult
 from repro.experiments.ext_chaos import build_fault_plan
-from repro.params import DEFAULT_PLATFORM, ClusterSpec, PlatformSpec
+from repro.params import DEFAULT_PLATFORM, ClusterSpec, PlatformSpec, SLOSpec
 from repro.sim import Simulator
 from repro.sim.debug import FlowLedger
 from repro.telemetry.metrics import ratio
@@ -198,6 +198,12 @@ def measure_kill_cell(
     read back: reads of the victim's segments must degrade to
     ``unavailable`` (terminal) while every other shard's reads stay
     100% available with their p99 intact.
+
+    Each shard carries its own read-availability SLO monitor
+    (``platform.slos`` -> per-tier budgets, ``docs/observability.md``),
+    so the blast radius shows up in the error-budget ledger too: the
+    victim's budget is burned through while every healthy shard's
+    budget stays fully intact.
     """
     # Shrink the read fail-over budget so the victim's reads give up in
     # simulated milliseconds, not the default 20 ms each.
@@ -208,7 +214,16 @@ def measure_kill_cell(
         read_deadline=usec(900),
     )
     platform = dataclasses.replace(
-        cluster_platform(n_shards), recovery=recovery
+        cluster_platform(n_shards),
+        recovery=recovery,
+        slos=(
+            SLOSpec(
+                name="read-availability",
+                signal="availability",
+                op="read",
+                target=0.99,
+            ),
+        ),
     )
     sim = Simulator()
     cluster = _build_cluster(sim, platform, partition_storage=True)
@@ -255,6 +270,12 @@ def measure_kill_cell(
         for address, recorder in client.shard_latency.items()
         if address != victim and recorder.count
     }
+    verdicts = cluster.slo_verdicts()
+    healthy_budgets = {
+        address: verdict["read-availability"]["budget_remaining"]
+        for address, verdict in verdicts.items()
+        if address != victim
+    }
     return {
         "victim": victim,
         "victim_segments": sorted(victim_segments),
@@ -266,6 +287,14 @@ def measure_kill_cell(
             value for address, value in availability.items() if address != victim
         ),
         "healthy_p99_us": healthy_p99_us,
+        "slo_verdicts": verdicts,
+        "victim_slo_violated": not verdicts[victim]["read-availability"]["met"],
+        "healthy_slos_met": all(
+            verdict["read-availability"]["met"]
+            for address, verdict in verdicts.items()
+            if address != victim
+        ),
+        "healthy_budget_min": min(healthy_budgets.values()),
         "fault_plan": plan.describe(),
     }
 
@@ -345,7 +374,11 @@ def run(quick: bool = False, platform: PlatformSpec | None = None) -> Experiment
         f"per-shard byte conservation={'ok' if churn['bytes_conserved_per_shard'] else 'VIOLATED'}\n\n"
         f"blast radius (killed {kill['victim']}'s replicas): victim read "
         f"availability {kill['victim_availability']:.0%}, healthy shards "
-        f"{kill['healthy_availability']:.0%}"
+        f"{kill['healthy_availability']:.0%}\n"
+        f"per-shard SLO budgets: victim read-availability violated="
+        f"{kill['victim_slo_violated']}, healthy shards met="
+        f"{kill['healthy_slos_met']} "
+        f"(min healthy budget remaining {kill['healthy_budget_min']:.0%})"
     )
     return ExperimentResult(
         experiment_id="ext_cluster",

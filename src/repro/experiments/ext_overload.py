@@ -31,10 +31,17 @@ from repro.core import SmartDsMiddleTier
 from repro.experiments.common import ExperimentResult
 from repro.experiments.ext_chaos import build_fault_plan
 from repro.middletier import HeartbeatMonitor, Testbed
-from repro.params import DEFAULT_PLATFORM, AdmissionSpec, PlatformSpec
+from repro.params import (
+    DEFAULT_PLATFORM,
+    AdmissionSpec,
+    FlightSpec,
+    PlatformSpec,
+    SLOSpec,
+)
 from repro.sim import Simulator
 from repro.telemetry.metrics import ratio
 from repro.telemetry.reporting import format_table
+from repro.telemetry.spans import SpanCollector
 from repro.units import msec, to_usec, usec
 from repro.workloads import ClientDriver, OpenLoopDriver, WriteRequestFactory
 
@@ -60,15 +67,50 @@ EXPERIMENT_ADMISSION = dict(
     queue_target=32,
 )
 
+#: The SLOs this experiment watches (``docs/observability.md``): write
+#: availability and write p99-under-threshold (the admission latency
+#: budget times the bounded-tail multiple), both with a 1 ms fast /
+#: 5 ms slow burn window so the page-grade alert can fire inside a
+#: sweep point. Every shed consumes error budget, so at 2x saturation
+#: the fast-burn alert trips *while goodput is still on its plateau* —
+#: the monitor pages before throughput degrades, not after.
+EXPERIMENT_SLOS = (
+    SLOSpec(
+        name="write-availability",
+        signal="availability",
+        op="write",
+        target=0.99,
+        window=msec(20),
+        fast_window=msec(1),
+        slow_window=msec(5),
+    ),
+    SLOSpec(
+        name="write-p99",
+        signal="latency",
+        op="write",
+        target=0.99,
+        latency_threshold=usec(1500),
+        window=msec(20),
+        fast_window=msec(1),
+        slow_window=msec(5),
+    ),
+)
+
 
 def overload_platform(
     platform: PlatformSpec | None = None, **overrides
 ) -> PlatformSpec:
-    """`platform` with admission control enabled (plus spec `overrides`)."""
+    """`platform` with admission control, the experiment SLOs, and a
+    flight recorder enabled (plus admission-spec `overrides`)."""
     platform = platform or DEFAULT_PLATFORM
     merged = dict(EXPERIMENT_ADMISSION)
     merged.update(overrides)
-    return dataclasses.replace(platform, admission=AdmissionSpec(**merged))
+    return dataclasses.replace(
+        platform,
+        admission=AdmissionSpec(**merged),
+        slos=EXPERIMENT_SLOS,
+        flight=FlightSpec(enabled=True),
+    )
 
 
 def calibrate_saturation(
@@ -82,7 +124,9 @@ def calibrate_saturation(
     are anchored to the raw service capacity, not to a shed-limited
     rate.
     """
-    baseline = dataclasses.replace(platform, admission=AdmissionSpec(enabled=False))
+    baseline = dataclasses.replace(
+        platform, admission=AdmissionSpec(enabled=False), slos=(), flight=FlightSpec()
+    )
     sim = Simulator()
     testbed = Testbed(sim, baseline, n_storage_servers=5)
     tier = SmartDsMiddleTier(sim, testbed, n_ports=1)
@@ -106,6 +150,11 @@ def measure_point(
 ) -> dict:
     """One open-loop sweep point at `offered_rate` requests/second."""
     sim = Simulator()
+    # The flight recorder and SLO trace capture need span trees; reuse
+    # a TraceSession's collector when one is installed (runner --trace/
+    # --flight), otherwise attach a private one.
+    if getattr(sim, "_span_collector", None) is None:
+        SpanCollector(sim)
     testbed = Testbed(sim, platform, n_storage_servers=5)
     tier = SmartDsMiddleTier(sim, testbed, n_ports=1, fault_plan=fault_plan)
     monitor = HeartbeatMonitor(sim, tier, interval=msec(1), timeout=msec(1), seed=seed)
@@ -124,6 +173,21 @@ def measure_point(
     statuses = {"ok"} if result.ok_requests else set()
     statuses.update(status for _lba, status in result.failures)
     summary = result.latency.maybe_summary()
+    slo = tier.slo
+    flight = tier.flight
+    #: Root outcomes of the traces the availability alerts captured —
+    #: the evidence a fast-burn page ships with.
+    alert_trace_outcomes = (
+        sorted(
+            {
+                record.outcome
+                for alert in slo.alerts
+                for record in alert.traces
+            }
+        )
+        if slo is not None
+        else []
+    )
     return {
         "offered_rate": offered_rate,
         "offered": n_requests,
@@ -142,6 +206,18 @@ def measure_point(
         if admission is None
         else admission.brownout.transitions.value,
         "short_circuits": 0 if admission is None else admission.short_circuits.value,
+        "fast_burn_alerts": 0
+        if slo is None
+        else len(slo.alerts_for("write-availability", "fast_burn")),
+        "slow_burn_alerts": 0
+        if slo is None
+        else len(slo.alerts_for("write-availability", "slow_burn")),
+        "slo_verdict": None if slo is None else slo.verdict(),
+        "alert_trace_outcomes": alert_trace_outcomes,
+        "flight_kept": 0 if flight is None else flight.traces_kept,
+        "flight_anomalous": 0
+        if flight is None
+        else len(flight.anomalous_records()),
     }
 
 
@@ -157,6 +233,8 @@ def measure_recovery(
     """
     plan = build_fault_plan(FAULT_SEED, 1.0)
     sim = Simulator()
+    if getattr(sim, "_span_collector", None) is None:
+        SpanCollector(sim)
     testbed = Testbed(sim, platform, n_storage_servers=5)
     tier = SmartDsMiddleTier(sim, testbed, n_ports=1, fault_plan=plan)
     monitor = HeartbeatMonitor(sim, tier, interval=msec(1), timeout=msec(1), seed=seed)
@@ -172,6 +250,23 @@ def measure_recovery(
     )
     storm = sim.run(until=storm_driver.run(n_requests))
     sim.run(until=sim.now + msec(3))  # let the storm drain and faults pass
+    slo = tier.slo
+    storm_fast_burn = (
+        0 if slo is None else len(slo.alerts_for("write-availability", "fast_burn"))
+    )
+    #: Evidence the storm's page shipped: root outcomes of the traces
+    #: captured by alerts that fired during the storm.
+    storm_alert_outcomes = (
+        sorted(
+            {
+                record.outcome
+                for alert in slo.alerts
+                for record in alert.traces
+            }
+        )
+        if slo is not None
+        else []
+    )
 
     calm_driver = OpenLoopDriver(
         sim,
@@ -188,8 +283,14 @@ def measure_recovery(
     admission = tier.admission
     level_after = 0 if admission is None else admission.brownout.current_level()
     calm_ok_fraction = ratio(calm.ok_requests, calm.requests)
+    flight = tier.flight
     return {
         "fault_plan": plan.describe(),
+        "storm_fast_burn_alerts": storm_fast_burn,
+        "storm_alert_trace_outcomes": storm_alert_outcomes,
+        "slo_verdict": None if slo is None else slo.verdict(),
+        "flight_kept": 0 if flight is None else flight.traces_kept,
+        "flight_anomalous": 0 if flight is None else len(flight.anomalous_records()),
         "storm_ok": storm.ok_requests,
         "storm_requests": storm.requests,
         "storm_shed_fraction": ratio(
@@ -229,6 +330,7 @@ def run(quick: bool = False, platform: PlatformSpec | None = None) -> Experiment
                 round(point["p99_us"], 1),
                 f"{point['shed_fraction']:.1%}",
                 point["brownout_transitions"],
+                f"{point['fast_burn_alerts']}/{point['slow_burn_alerts']}",
             ]
         )
     sweep_table = format_table(
@@ -241,6 +343,7 @@ def run(quick: bool = False, platform: PlatformSpec | None = None) -> Experiment
             "p99 adm (us)",
             "shed",
             "brownout",
+            "burn alerts f/s",
         ],
         rows,
     )
@@ -255,7 +358,33 @@ def run(quick: bool = False, platform: PlatformSpec | None = None) -> Experiment
     )
     all_answered = all(point["answered"] == point["offered"] for point in points)
 
-    recovery = measure_recovery(saturation, n_requests, platform)
+    # The storm must be long enough to overlap the fault plan's loss
+    # bursts (they land ~1.7 ms in) or the recovery cell measures an
+    # unperturbed tier; floor it even under --quick.
+    recovery = measure_recovery(saturation, max(n_requests, 1500), platform)
+
+    # SLO early warning (docs/observability.md). Two complementary
+    # claims: (1) across the plain sweep, admission keeps both write
+    # SLOs inside budget, so the page-grade fast-burn alert stays
+    # *silent* — protected overload does not page; (2) when the tier
+    # itself degrades (the chaos-composed storm sheds in earnest), the
+    # fast-burn alert fires while goodput is still protected — the
+    # operator hears about it from the burn rate, not from a
+    # throughput collapse — and the page ships its evidence: the
+    # flight-recorder ring captured at trip time holds the shed /
+    # degraded traces that burned the budget.
+    sweep_quiet = all(point["fast_burn_alerts"] == 0 for point in points)
+    sweep_slos_met = all(
+        all(entry["met"] for entry in point["slo_verdict"].values())
+        for point in points
+        if point["slo_verdict"] is not None
+    )
+    storm_pages = recovery["storm_fast_burn_alerts"] >= 1
+    early_warning = storm_pages and plateau_ok and recovery["recovered"]
+    alert_evidence = any(
+        outcome in ("shed", "degraded", "failed")
+        for outcome in recovery["storm_alert_trace_outcomes"]
+    )
 
     text = (
         f"saturation (closed-loop, admission off): {saturation / 1e3:.1f} kreq/s\n\n"
@@ -266,7 +395,16 @@ def run(quick: bool = False, platform: PlatformSpec | None = None) -> Experiment
         f"(bound {P99_BUDGET_MULTIPLE:.0f}x budget = {P99_BUDGET_MULTIPLE * budget_us:.0f} us: "
         f"{p99_bounded})\n"
         f"every request answered with a terminal status: "
-        f"{all_answered and all_terminal}\n\n"
+        f"{all_answered and all_terminal}\n"
+        f"SLOs met across the sweep with zero fast-burn pages: "
+        f"{sweep_slos_met and sweep_quiet} (protected overload does not page)\n"
+        f"fast-burn pages during the degraded storm, goodput still "
+        f"protected: {early_warning} "
+        f"({recovery['storm_fast_burn_alerts']} page(s))\n"
+        f"page shipped shed/degraded trace evidence: {alert_evidence} "
+        f"(outcomes: {', '.join(recovery['storm_alert_trace_outcomes']) or 'none'}; "
+        f"flight kept {recovery['flight_kept']} trace(s), "
+        f"{recovery['flight_anomalous']} anomalous)\n\n"
         f"recovery after a chaos-composed storm "
         f"(plan: {recovery['fault_plan']}):\n"
         f"  storm shed fraction: {recovery['storm_shed_fraction']:.1%}, "
@@ -286,6 +424,10 @@ def run(quick: bool = False, platform: PlatformSpec | None = None) -> Experiment
             "p99_bounded": p99_bounded,
             "all_terminal": all_terminal,
             "all_answered": all_answered,
+            "sweep_quiet": sweep_quiet,
+            "sweep_slos_met": sweep_slos_met,
+            "early_warning": early_warning,
+            "alert_evidence": alert_evidence,
             "recovery": recovery,
         },
     )

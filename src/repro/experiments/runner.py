@@ -108,6 +108,26 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         "(counters, gauges + periodic samples, histograms) to FILE as JSON",
     )
     parser.add_argument(
+        "--flight",
+        metavar="FILE",
+        help="arm a tail-sampling flight recorder on every simulator and write "
+        "the kept (anomalous + sampled-healthy) traces to FILE as JSON "
+        "(docs/observability.md)",
+    )
+    parser.add_argument(
+        "--slo",
+        metavar="FILE",
+        help="watch the stock SLOs (availability, read p99) on every simulator "
+        "and write error budgets, burn-rate alerts, and captured traces to FILE",
+    )
+    parser.add_argument(
+        "--profile",
+        metavar="FILE",
+        help="fold every recorded span tree into component-level time "
+        "attribution and write the collapsed-stack profile to FILE; also "
+        "prints the latency-attribution table",
+    )
+    parser.add_argument(
         "--bench",
         metavar="FILE",
         help="run the perf harness (benchmarks.perf) instead of experiments and "
@@ -146,10 +166,21 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         parser.error("--metrics requires --trace (the trace session owns the registries)")
 
     session = None
-    if args.trace:
+    if args.trace or args.flight or args.slo or args.profile:
         from repro.telemetry.spans import TraceSession
 
-        session = TraceSession().install()
+        flight_spec = None
+        if args.flight or args.slo:
+            # --slo implies a recorder so alerts can capture traces.
+            from repro.params import FlightSpec
+
+            flight_spec = FlightSpec(enabled=True)
+        slo_specs = None
+        if args.slo:
+            from repro.telemetry.slo import DEFAULT_SLOS
+
+            slo_specs = DEFAULT_SLOS
+        session = TraceSession(flight=flight_spec, slo_specs=slo_specs).install()
 
     selected = sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
     results = []
@@ -173,21 +204,44 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         dump_results(results, args.json)
         print(f"[wrote {len(results)} result(s) to {args.json}]")
     if session is not None:
-        session.write_chrome_trace(args.trace)
-        print(
-            f"[wrote {session.total_spans} span(s) across {session.total_traces} "
-            f"request trace(s) to {args.trace}]"
-        )
-        interesting = session.interesting_trace()
-        if interesting is not None:
-            collector, trace_id = interesting
-            print("critical path of the most interesting request:")
-            print(collector.format_critical_path(trace_id))
+        if args.trace:
+            session.write_chrome_trace(args.trace)
+            print(
+                f"[wrote {session.total_spans} span(s) across {session.total_traces} "
+                f"request trace(s) to {args.trace}]"
+            )
+            interesting = session.interesting_trace()
+            if interesting is not None:
+                collector, trace_id = interesting
+                print("critical path of the most interesting request:")
+                print(collector.format_critical_path(trace_id))
         if args.metrics:
             from repro.experiments.export import dump_metrics
 
             dump_metrics(session.registries, args.metrics)
             print(f"[wrote {len(session.registries)} metric registr(ies) to {args.metrics}]")
+        if args.flight:
+            from repro.experiments.export import dump_flight
+
+            dump_flight(session.flights, args.flight)
+            kept = sum(recorder.traces_kept for recorder in session.flights)
+            print(f"[wrote {kept} kept trace(s) from {len(session.flights)} "
+                  f"flight recorder(s) to {args.flight}]")
+        if args.slo:
+            from repro.experiments.export import dump_slo
+
+            dump_slo(session.monitors, args.slo)
+            alerts = sum(len(monitor.alerts) for monitor in session.monitors)
+            print(f"[wrote {len(session.monitors)} SLO monitor(s), "
+                  f"{alerts} alert(s) to {args.slo}]")
+        if args.profile:
+            from repro.experiments.export import dump_profile
+            from repro.telemetry.profiler import SimProfile
+
+            profile = SimProfile.from_session(session)
+            dump_profile(profile, args.profile)
+            print(f"[wrote profile of {profile.n_traces} trace(s) to {args.profile}]")
+            print(profile.attribution_table())
     return 0
 
 

@@ -30,8 +30,10 @@ from repro.net.roce import QueuePair, RoceEndpoint
 from repro.params import PlatformSpec
 from repro.sim.events import AnyOf, Event
 from repro.sim.resources import Store
+from repro.telemetry.flight import FlightRecorder
 from repro.telemetry.metrics import Counter, LatencyRecorder
 from repro.telemetry.registry import registry_for
+from repro.telemetry.slo import SLOMonitor, slo_monitor_for
 from repro.units import msec
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -207,6 +209,31 @@ class MiddleTierServer(abc.ABC):
         self.admission: AdmissionController | None = (
             AdmissionController(sim, self, admission_spec) if admission_spec.enabled else None
         )
+        # Diagnosis layer (docs/observability.md): a tail-sampling
+        # flight recorder on the sim's span collector when the platform
+        # asks for one, plus SLO monitors fed by every terminal reply —
+        # one per tier from ``platform.slos`` (per-shard budgets in a
+        # cluster) and/or a session-wide one adopted from the sim
+        # (``runner --slo``). Both default to absent, so the unobserved
+        # hot path pays one falsy test per completion.
+        collector = getattr(sim, "_span_collector", None)
+        if (
+            self.platform.flight.enabled
+            and collector is not None
+            and collector.flight is None
+        ):
+            FlightRecorder(collector, self.platform.flight)
+        self.flight = collector.flight if collector is not None else None
+        monitors = []
+        if self.platform.slos:
+            monitors.append(
+                SLOMonitor(sim, self.platform.slos, name=address, flight=self.flight)
+            )
+        session_monitor = slo_monitor_for(sim)
+        if session_monitor is not None:
+            monitors.append(session_monitor)
+        self.slo: SLOMonitor | None = monitors[0] if monitors else None
+        self._slo_monitors: tuple[SLOMonitor, ...] = tuple(monitors)
 
     # -- subclass surface -------------------------------------------------
 
@@ -323,6 +350,8 @@ class MiddleTierServer(abc.ABC):
         if message.span is not None:
             shed_span = message.span.child("admission.shed", reason=reason)
             shed_span.finish("shed")
+        if self._slo_monitors:
+            self._observe_completion(message, "shed")
         yield qp.send(reply)
 
     def _send_wrong_shard(
@@ -345,6 +374,10 @@ class MiddleTierServer(abc.ABC):
                 "route.wrong_shard", shard=self.address, **redirect
             )
             bounce.finish("retried")
+        if self._slo_monitors:
+            # Monitors ignore routing bounces (IGNORED_STATUSES); fed so
+            # a future objective over them sees the full record stream.
+            self._observe_completion(message, "wrong_shard")
         yield qp.send(reply)
 
     def _release_admission(self, message: Message) -> None:
@@ -387,13 +420,36 @@ class MiddleTierServer(abc.ABC):
 
     # -- write completion: replication, fail-over, VM ack --------------------
 
-    def _complete(self, message: Message) -> None:
-        """Count one served request; feed the latency histogram if registered."""
+    def _complete(self, message: Message, nbytes: int | None = None) -> None:
+        """Count one served request; feed the latency histogram and SLO
+        monitors if any are attached. `nbytes` is the goodput payload
+        (reads pass the fetched block; default: the request's payload)."""
         if self.admission is not None:
             self.admission.release(message)
         self.requests_completed.add()
-        if self._latency_hist is not None and message.created_at is not None:
-            self._latency_hist.observe(self.sim.now - message.created_at)
+        latency = (
+            self.sim.now - message.created_at if message.created_at is not None else None
+        )
+        if self._latency_hist is not None and latency is not None:
+            self._latency_hist.observe(latency)
+        if self._slo_monitors:
+            self._observe_completion(
+                message,
+                "ok",
+                latency=latency,
+                nbytes=message.payload_size if nbytes is None else nbytes,
+            )
+
+    def _observe_completion(
+        self,
+        message: Message,
+        status: str,
+        latency: float | None = None,
+        nbytes: int = 0,
+    ) -> None:
+        """Feed one terminal reply to every attached SLO monitor."""
+        for monitor in self._slo_monitors:
+            monitor.record(message.kind, status, latency=latency, nbytes=nbytes)
 
     def _spawn_completion(self, qp: QueuePair, message: Message, payload: Payload) -> None:
         """Persist `payload` to the replica set and ack the VM, off-worker."""
@@ -674,7 +730,7 @@ class MiddleTierServer(abc.ABC):
                 yield qp.send(response)
                 if hit_span is not None:
                     hit_span.finish(nbytes=payload.size)
-                self._complete(message)
+                self._complete(message, nbytes=payload.size)
                 self.cache_hit_latency.record(self.sim.now - started)
                 return
             if parent is not None:
@@ -688,6 +744,10 @@ class MiddleTierServer(abc.ABC):
             if parent is not None:
                 parent.event("read.not_found", outcome="failed")
             self._release_admission(message)
+            if self._slo_monitors:
+                self._observe_completion(
+                    message, "not_found", latency=self.sim.now - started
+                )
             yield qp.send(message.reply("read_reply", status="not_found"))
             return
         policy = self.read_retry
@@ -704,6 +764,10 @@ class MiddleTierServer(abc.ABC):
             ):
                 self.reads_unavailable.add()
                 self._release_admission(message)
+                if self._slo_monitors:
+                    self._observe_completion(
+                        message, "unavailable", latency=self.sim.now - started
+                    )
                 unavail_span = None
                 if parent is not None:
                     unavail_span = parent.child(
@@ -755,6 +819,10 @@ class MiddleTierServer(abc.ABC):
             if parent is not None:
                 parent.event("read.not_found", outcome="failed")
             self._release_admission(message)
+            if self._slo_monitors:
+                self._observe_completion(
+                    message, "not_found", latency=self.sim.now - started
+                )
             yield qp.send(message.reply("read_reply", status="not_found"))
             return
         payload = stored.payload
@@ -773,6 +841,6 @@ class MiddleTierServer(abc.ABC):
         response.payload = payload
         response.span = parent
         yield qp.send(response)
-        self._complete(message)
+        self._complete(message, nbytes=payload.size)
         if self.cache is not None:
             self.cache_miss_latency.record(self.sim.now - started)

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.units import gBps, gbps, kib, mib, usec
+from repro.units import gBps, gbps, kib, mib, msec, usec
 
 
 @dataclasses.dataclass(frozen=True)
@@ -347,6 +347,138 @@ class WorkloadSpec:
 
 
 @dataclasses.dataclass(frozen=True)
+class FlightSpec:
+    """Tail-based trace retention (``docs/observability.md``).
+
+    Disabled by default: no recorder is built and the span hot path is
+    untouched. Enabled (and with a :class:`~repro.telemetry.spans.
+    SpanCollector` attached), every *completed* root span is classified
+    by :class:`~repro.telemetry.flight.FlightRecorder`: anomalous traces
+    (failed / shed / degraded / retried / wrong_shard / slow) are always
+    kept, healthy ones are kept 1-in-`healthy_every` (seeded), and the
+    newest `capacity` keepers ride in a ring buffer.
+    """
+
+    enabled: bool = False
+    #: Ring size: kept trace records beyond this evict the oldest.
+    capacity: int = 256
+    #: Static per-trace slowness threshold (seconds): a root whose
+    #: duration reaches it is kept with reason ``slow``.
+    slow_threshold: float = msec(5)
+    #: Per-operation overrides as ``(("read_request", seconds), ...)``
+    #: pairs (tuples, not a dict, so the spec stays hashable/frozen).
+    slow_thresholds: tuple = ()
+    #: Dynamic slowness: once `dynamic_min_samples` durations of an op
+    #: have been seen, a trace at/above this percentile of them is kept
+    #: with reason ``slow_p99``. Set to ``None`` to disable.
+    dynamic_percentile: float | None = 0.99
+    dynamic_min_samples: int = 100
+    #: Healthy-trace sampling rate: keep ~1 in this many (0 = none).
+    healthy_every: int = 128
+    #: Seeds the healthy-sampling RNG (replay-stable).
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError(f"flight capacity must be >= 1, got {self.capacity}")
+        if self.slow_threshold <= 0:
+            raise ValueError(
+                f"slow_threshold must be positive, got {self.slow_threshold!r}"
+            )
+        for pair in self.slow_thresholds:
+            if len(pair) != 2 or not isinstance(pair[0], str) or pair[1] <= 0:
+                raise ValueError(
+                    f"slow_thresholds entries must be (op, positive seconds), got {pair!r}"
+                )
+        if self.dynamic_percentile is not None and not 0 < self.dynamic_percentile <= 1:
+            raise ValueError(
+                f"dynamic_percentile must be in (0, 1], got {self.dynamic_percentile!r}"
+            )
+        if self.dynamic_min_samples < 2:
+            raise ValueError(
+                f"dynamic_min_samples must be >= 2, got {self.dynamic_min_samples}"
+            )
+        if self.healthy_every < 0:
+            raise ValueError(f"healthy_every must be >= 0, got {self.healthy_every}")
+
+
+#: Signals an :class:`SLOSpec` can watch.
+SLO_SIGNALS = ("availability", "latency", "goodput")
+
+
+@dataclasses.dataclass(frozen=True)
+class SLOSpec:
+    """One service-level objective watched by an
+    :class:`~repro.telemetry.slo.SLOMonitor` (``docs/observability.md``).
+
+    Three signal flavors:
+
+    - ``availability``: fraction of requests answered ``ok`` must stay
+      >= `target`;
+    - ``latency``: fraction of requests answered ``ok`` within
+      `latency_threshold` must stay >= `target` (a p99 objective is
+      ``target=0.99``);
+    - ``goodput``: ok-payload byte rate over the fast window must stay
+      >= `goodput_floor` bytes/s.
+
+    Burn rates follow the SRE-workbook multi-window scheme: with budget
+    ``1 - target``, a window burning at `fast_burn`x (resp. `slow_burn`x)
+    the sustainable rate trips a ``fast_burn`` (resp. ``slow_burn``)
+    alert.
+    """
+
+    name: str = "slo"
+    signal: str = "availability"
+    #: Operation filter: requests whose kind starts with this prefix are
+    #: scored ("write" matches ``write_request``); "any" scores all.
+    op: str = "any"
+    #: Good-event objective for availability/latency signals.
+    target: float = 0.99
+    #: Latency-signal threshold (seconds) an ok reply must beat.
+    latency_threshold: float = msec(1)
+    #: Goodput-signal floor (bytes/s of ok payload over `fast_window`).
+    goodput_floor: float = 0.0
+    #: Reporting window for the current bad fraction.
+    window: float = msec(20)
+    #: Burn-rate evaluation windows (fast trips pages, slow trips tickets).
+    fast_window: float = msec(1)
+    slow_window: float = msec(5)
+    fast_burn: float = 14.4
+    slow_burn: float = 6.0
+    #: Sliding-window resolution (buckets per window).
+    n_buckets: int = 20
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("SLO needs a name")
+        if self.signal not in SLO_SIGNALS:
+            raise ValueError(
+                f"unknown SLO signal {self.signal!r}; have {SLO_SIGNALS}"
+            )
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(f"target must be in (0, 1), got {self.target!r}")
+        if self.latency_threshold <= 0:
+            raise ValueError(
+                f"latency_threshold must be positive, got {self.latency_threshold!r}"
+            )
+        if self.goodput_floor < 0:
+            raise ValueError(f"goodput_floor must be >= 0, got {self.goodput_floor!r}")
+        if self.signal == "goodput" and self.goodput_floor <= 0:
+            raise ValueError("goodput SLOs need a positive goodput_floor")
+        if min(self.window, self.fast_window, self.slow_window) <= 0:
+            raise ValueError("SLO windows must be positive")
+        if self.fast_window > self.slow_window:
+            raise ValueError(
+                f"fast_window ({self.fast_window!r}) must be <= "
+                f"slow_window ({self.slow_window!r})"
+            )
+        if self.fast_burn <= 0 or self.slow_burn <= 0:
+            raise ValueError("burn-rate thresholds must be positive")
+        if self.n_buckets < 2:
+            raise ValueError(f"n_buckets must be >= 2, got {self.n_buckets}")
+
+
+@dataclasses.dataclass(frozen=True)
 class PlatformSpec:
     """Everything an experiment needs, bundled."""
 
@@ -361,6 +493,9 @@ class PlatformSpec:
     cache: CacheSpec = dataclasses.field(default_factory=CacheSpec)
     admission: AdmissionSpec = dataclasses.field(default_factory=AdmissionSpec)
     cluster: ClusterSpec = dataclasses.field(default_factory=ClusterSpec)
+    flight: FlightSpec = dataclasses.field(default_factory=FlightSpec)
+    #: SLOs the tier should watch; empty (the default) builds no monitor.
+    slos: tuple = ()
 
 
 #: The default platform used by all experiments.

@@ -3,26 +3,40 @@
 The paper reports throughput, average / 99th / 999th-percentile latency,
 and host memory / PCIe bandwidth occupation; these classes collect those
 observables from a simulation run and format them as the paper's tables
-and series.
+and series. On top of that sits the diagnosis layer
+(``docs/observability.md``): causal span trees (:mod:`.spans`), a
+tail-sampling flight recorder (:mod:`.flight`), SLO burn-rate monitors
+(:mod:`.slo`), and a sim-time profiler (:mod:`.profiler`).
 """
 
+from repro.telemetry.flight import FlightRecorder, TraceRecord
 from repro.telemetry.metrics import BandwidthMeter, Counter, Gauge, LatencyRecorder
+from repro.telemetry.profiler import SimProfile, component_of
 from repro.telemetry.registry import Histogram, MetricsRegistry, registry_for
 from repro.telemetry.reporting import Series, format_series, format_table
+from repro.telemetry.slo import DEFAULT_SLOS, SLOAlert, SLOMonitor, slo_monitor_for
 from repro.telemetry.spans import Span, SpanCollector, TraceSession
 
 __all__ = [
     "BandwidthMeter",
     "Counter",
+    "DEFAULT_SLOS",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "LatencyRecorder",
     "MetricsRegistry",
     "Series",
+    "SimProfile",
+    "SLOAlert",
+    "SLOMonitor",
     "Span",
     "SpanCollector",
+    "TraceRecord",
     "TraceSession",
+    "component_of",
     "format_series",
     "format_table",
     "registry_for",
+    "slo_monitor_for",
 ]

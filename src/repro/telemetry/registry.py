@@ -262,9 +262,30 @@ class MetricsRegistry:
         return self._series.get(_series_key(name, labels))
 
     def to_dict(self) -> dict:
-        """Flat JSON-ready dump of every series and the gauge samples."""
-        series = []
-        for (name, label_items), collector in sorted(self._series.items()):
+        """Flat JSON-ready dump of every series and the gauge samples.
+
+        Probes (:meth:`gauge_callable`) are read once at dump time and
+        included as ``type: "probe"`` entries; the whole list is sorted
+        by ``(name, labels)`` so two dumps of the same run diff cleanly.
+        """
+        entries: list[tuple[tuple, dict]] = []
+        for (name, label_items), probe in self._probes.items():
+            try:
+                value: typing.Any = float(probe.fn())
+            except Exception:  # observability must not crash the dump
+                value = None
+            entries.append(
+                (
+                    (name, label_items),
+                    {
+                        "name": name,
+                        "labels": dict(label_items),
+                        "type": "probe",
+                        "value": value,
+                    },
+                )
+            )
+        for (name, label_items), collector in self._series.items():
             entry: dict[str, typing.Any] = {"name": name, "labels": dict(label_items)}
             if isinstance(collector, Counter):
                 entry["type"] = "counter"
@@ -287,7 +308,9 @@ class MetricsRegistry:
             else:  # pragma: no cover - future collector types
                 entry["type"] = type(collector).__name__
                 entry["repr"] = repr(collector)
-            series.append(entry)
+            entries.append(((name, label_items), entry))
+        entries.sort(key=lambda pair: pair[0])
+        series = [entry for _key, entry in entries]
         return {"registry": self.name, "series": series, "samples": list(self._samples)}
 
     # -- periodic gauge sampling --------------------------------------------

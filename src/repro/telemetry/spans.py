@@ -37,7 +37,9 @@ import json
 import typing
 
 from repro.sim import kernel
-from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.metrics import Counter
+from repro.telemetry.profiler import COMPONENTS, component_of
+from repro.telemetry.registry import MetricsRegistry, registry_for
 from repro.units import to_usec, usec
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -108,6 +110,10 @@ class Span:
 
         First finish wins: a second call is ignored rather than raised,
         because observability must never crash the datapath it watches.
+
+        Finishing a *root* span completes its trace: the collector's
+        flight recorder (if any) classifies and maybe keeps it
+        (``repro.telemetry.flight``).
         """
         if self.end is not None:
             return self
@@ -116,6 +122,10 @@ class Span:
         self.nbytes = nbytes
         if attrs:
             self.attrs = {**self.attrs, **attrs}
+        if self.parent_id is None:
+            flight = self.collector.flight
+            if flight is not None:
+                flight.observe(self)
         return self
 
     @property
@@ -136,9 +146,12 @@ class SpanCollector:
 
     Attaching sets ``sim._span_collector``; instrumentation sites check
     that attribute (or ``Message.span``) and stay inert when it is
-    ``None``. At most `limit` spans are kept — beyond it new spans are
-    dropped (counted in :attr:`spans_dropped`) so recorded trees stay
-    complete rather than losing interior nodes.
+    ``None``. At most `limit` spans are kept — beyond it the *oldest
+    root's whole trace* is evicted (a ring of recent trees), so recorded
+    traces stay complete rather than losing interior nodes. Evicted and
+    dropped spans are counted in :attr:`spans_dropped` (also exposed as
+    the ``trace.spans_dropped`` registry series when a
+    :class:`~repro.telemetry.registry.MetricsRegistry` is attached).
     """
 
     def __init__(self, sim: "Simulator", limit: int = 200_000) -> None:
@@ -146,16 +159,39 @@ class SpanCollector:
             raise ValueError(f"span limit must be >= 1, got {limit}")
         self.sim = sim
         self.limit = limit
-        self.spans: list[Span] = []
-        self.spans_dropped = 0
         self._by_trace: dict[int, list[Span]] = {}
+        self._n_spans = 0
         self._next_span_id = 0
+        #: Evicted whole traces (each eviction also counts its spans
+        #: into :attr:`spans_dropped`).
+        self.traces_evicted = 0
+        #: Optional :class:`~repro.telemetry.flight.FlightRecorder`
+        #: notified as each root span finishes; ``None`` keeps the
+        #: finish path to one attribute load plus a ``None`` test.
+        self.flight: typing.Any = None
+        self._dropped = Counter("trace.spans_dropped")
+        registry = registry_for(sim)
+        if registry is not None:
+            registry.register_instance(self._dropped, component="telemetry")
         sim._span_collector = self
 
     def detach(self) -> None:
         """Stop collecting; recorded spans stay readable."""
         if self.sim._span_collector is self:
             self.sim._span_collector = None
+
+    @property
+    def spans(self) -> list[Span]:
+        """Every recorded span, in creation (span id) order."""
+        flat = [span for spans in self._by_trace.values() for span in spans]
+        flat.sort(key=lambda span: span.span_id)
+        return flat
+
+    @property
+    def spans_dropped(self) -> int:
+        """Spans lost to the cap — evicted with an old trace or (when a
+        single trace exceeds the whole cap) dropped on arrival."""
+        return self._dropped.value
 
     # -- recording ----------------------------------------------------------
 
@@ -171,11 +207,23 @@ class SpanCollector:
         span_id = self._next_span_id
         self._next_span_id += 1
         span = Span(self, trace_id, span_id, parent_id, name, self.sim.now, attrs)
-        if len(self.spans) >= self.limit:
-            self.spans_dropped += 1
-        else:
-            self.spans.append(span)
-            self._by_trace.setdefault(trace_id, []).append(span)
+        if self._n_spans >= self.limit:
+            # Ring behavior: make room by evicting the *oldest* trace
+            # whole — unless that is the incoming trace itself (one
+            # giant trace at the cap), where the new span is dropped so
+            # older complete trees survive.
+            by_trace = self._by_trace
+            while self._n_spans >= self.limit:
+                oldest = next(iter(by_trace))
+                if oldest == trace_id:
+                    self._dropped.add()
+                    return span
+                dead = by_trace.pop(oldest)
+                self._n_spans -= len(dead)
+                self._dropped.add(len(dead))
+                self.traces_evicted += 1
+        self._by_trace.setdefault(trace_id, []).append(span)
+        self._n_spans += 1
         return span
 
     # -- queries ------------------------------------------------------------
@@ -251,12 +299,33 @@ class SpanCollector:
         """Spans as a Chrome ``trace_event`` document.
 
         Load the JSON in Perfetto (https://ui.perfetto.dev) or
-        ``chrome://tracing``; each request renders as one track
-        (``tid`` is the request id), spans as complete ``X`` events
-        with outcome and byte counts in ``args``.
+        ``chrome://tracing``. Spans are grouped by datapath *component*
+        (:func:`repro.telemetry.profiler.component_of`): each component
+        renders as one named process (``process_name`` metadata), with
+        one track per request inside it (``thread_name``/``tid`` is the
+        request id). Spans are complete ``X`` events with outcome and
+        byte counts in ``args``; `pid` namespaces the processes when
+        several collectors merge into one document.
         """
         events: list[dict] = []
+        used_components: set[str] = set()
+        named_tracks: set[tuple[int, int]] = set()
         for span in self.spans:
+            component = component_of(span.name)
+            component_pid = pid * 100 + COMPONENTS.index(component)
+            used_components.add(component)
+            track = (component_pid, span.trace_id)
+            if track not in named_tracks:
+                named_tracks.add(track)
+                events.append(
+                    {
+                        "name": "thread_name",
+                        "ph": "M",
+                        "pid": component_pid,
+                        "tid": span.trace_id,
+                        "args": {"name": f"request {span.trace_id}"},
+                    }
+                )
             events.append(
                 {
                     "name": span.name,
@@ -264,7 +333,7 @@ class SpanCollector:
                     "ph": "X",
                     "ts": to_usec(span.start),
                     "dur": to_usec(span.duration),
-                    "pid": pid,
+                    "pid": component_pid,
                     "tid": span.trace_id,
                     "args": {
                         "outcome": span.outcome or "open",
@@ -273,7 +342,29 @@ class SpanCollector:
                     },
                 }
             )
-        return {"traceEvents": events, "displayTimeUnit": "ns"}
+        metadata: list[dict] = []
+        for component in used_components:
+            index = COMPONENTS.index(component)
+            metadata.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid * 100 + index,
+                    "tid": 0,
+                    "args": {"name": f"sim{pid} {component}"},
+                }
+            )
+            metadata.append(
+                {
+                    "name": "process_sort_index",
+                    "ph": "M",
+                    "pid": pid * 100 + index,
+                    "tid": 0,
+                    "args": {"sort_index": index},
+                }
+            )
+        metadata.sort(key=lambda event: (event["pid"], event["name"]))
+        return {"traceEvents": metadata + events, "displayTimeUnit": "ns"}
 
     def write_chrome_trace(self, path: str, pid: int = 1) -> None:
         """Write :meth:`to_chrome_trace` to `path` as JSON."""
@@ -282,7 +373,7 @@ class SpanCollector:
 
     def __repr__(self) -> str:
         return (
-            f"<SpanCollector spans={len(self.spans)} "
+            f"<SpanCollector spans={self._n_spans} "
             f"traces={len(self._by_trace)} dropped={self.spans_dropped}>"
         )
 
@@ -313,11 +404,26 @@ class TraceSession:
     untraced.
     """
 
-    def __init__(self, sample_interval: float | None = usec(100), span_limit: int = 200_000) -> None:
+    def __init__(
+        self,
+        sample_interval: float | None = usec(100),
+        span_limit: int = 200_000,
+        flight: typing.Any = None,
+        slo_specs: typing.Iterable | None = None,
+    ) -> None:
         self.sample_interval = sample_interval
         self.span_limit = span_limit
+        #: Optional :class:`~repro.params.FlightSpec`: each new sim's
+        #: collector gets a :class:`~repro.telemetry.flight.FlightRecorder`.
+        self.flight_spec = flight
+        #: Optional :class:`~repro.params.SLOSpec` tuple: each new sim
+        #: gets an attached :class:`~repro.telemetry.slo.SLOMonitor`
+        #: (tiers adopt it via ``slo_monitor_for``).
+        self.slo_specs = tuple(slo_specs) if slo_specs else ()
         self.collectors: list[SpanCollector] = []
         self.registries: list[MetricsRegistry] = []
+        self.flights: list = []
+        self.monitors: list = []
         self._installed = False
 
     # -- lifecycle ----------------------------------------------------------
@@ -340,9 +446,26 @@ class TraceSession:
         self.uninstall()
 
     def _on_new_sim(self, sim: "Simulator") -> None:
-        self.collectors.append(SpanCollector(sim, limit=self.span_limit))
+        # Registry first: the collector (and flight recorder) register
+        # their own series with it at construction.
         registry = MetricsRegistry(name=f"sim{len(self.registries)}").attach(sim)
         self.registries.append(registry)
+        collector = SpanCollector(sim, limit=self.span_limit)
+        self.collectors.append(collector)
+        if self.flight_spec is not None:
+            from repro.telemetry.flight import FlightRecorder
+
+            self.flights.append(FlightRecorder(collector, self.flight_spec))
+        if self.slo_specs:
+            from repro.telemetry.slo import SLOMonitor
+
+            monitor = SLOMonitor(
+                sim,
+                self.slo_specs,
+                name=f"sim{len(self.monitors)}",
+                flight=collector.flight,
+            ).attach()
+            self.monitors.append(monitor)
         if self.sample_interval is not None:
             registry.start_sampler(sim, self.sample_interval)
 

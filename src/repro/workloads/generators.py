@@ -286,17 +286,35 @@ class OpenLoopDriver:
 
     def _one_request(self) -> typing.Generator:
         message = self.factory.make()
+        collector = self.sim._span_collector
+        root = tx = None
+        if collector is not None:
+            root = collector.request(
+                message.kind,
+                message.request_id,
+                vm=self.factory.vm_id,
+                lba=message.header.get("block_id"),
+            )
+            # The transport reassigns message.span to its own child, so
+            # hold the tx span locally to finish it.
+            tx = message.span = root.child("client.tx")
         reply_event = self.sim.event()
         self._reply_events[message.request_id] = reply_event
         start = self.sim.now
         yield self.qp.send(message)
+        if tx is not None:
+            tx.finish(nbytes=message.size)
         reply = yield reply_event
+        status = reply.header.get("status", "ok")
+        if root is not None:
+            outcome = "ok" if status == "ok" else ("shed" if status == "shed" else "failed")
+            root.finish(outcome, nbytes=reply.payload_size, status=status)
         self._samples.append(
             (
                 start,
                 self.sim.now,
                 message.payload_size,
-                reply.header.get("status", "ok"),
+                status,
                 message.header.get("block_id", -1),
             )
         )

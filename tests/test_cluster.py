@@ -583,6 +583,36 @@ class TestShardedClusterConstruction:
         )
         assert series is tier.wrong_shard_replies
 
+    def test_cluster_gauges_land_in_metrics_dump(self):
+        sim = Simulator()
+        registry = MetricsRegistry().attach(sim)
+        cluster = build_cluster(sim, 2)
+        cluster.directory.rebalance(range(4))
+        entries = registry.to_dict()["series"]
+        probes = {
+            (entry["name"], tuple(sorted(entry["labels"].items()))): entry
+            for entry in entries
+            if entry["type"] == "probe"
+        }
+        for address in cluster.addresses:
+            key = (
+                "cluster.shard_heat",
+                (("component", "cluster"), ("shard", address)),
+            )
+            assert key in probes
+        assert probes[("cluster.imbalance", (("component", "cluster"),))][
+            "value"
+        ] == pytest.approx(cluster.directory.imbalance())
+        assert probes[("cluster.map_version", (("component", "cluster"),))][
+            "value"
+        ] == float(cluster.directory.version)
+
+    def test_slo_accessors_without_platform_slos(self):
+        sim = Simulator()
+        cluster = build_cluster(sim, 2)
+        assert cluster.slo_monitors() == {"shard0": None, "shard1": None}
+        assert cluster.slo_verdicts() == {}
+
 
 class TestSpreadSegments:
     def test_factory_interleaves_lbas_across_segments(self):

@@ -1,0 +1,233 @@
+"""Flight recorder: tail-based trace sampling and the bounded ring.
+
+Covers classification (kept-for-cause vs healthy 1-in-N sample), the
+ring's capacity bound, seeded determinism, auto-dump on first anomaly,
+schema-valid export, and the end-to-end wiring: a tier built on a
+``FlightSpec(enabled=True)`` platform records its own traffic.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.middletier import CpuOnlyMiddleTier, Testbed
+from repro.params import DEFAULT_PLATFORM, FlightSpec
+from repro.sim import Simulator
+from repro.telemetry.flight import FlightRecorder
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.schemas import validate_flight
+from repro.telemetry.spans import SpanCollector
+from repro.units import msec, usec
+from repro.workloads import ClientDriver, WriteRequestFactory
+
+
+def _finish_trace(collector, sim, trace_id, outcome="ok", duration=usec(10),
+                  child_name="net.tx", child_outcome="ok", op="write_request"):
+    """One root + one child, finished `duration` after they open."""
+    start = sim.now
+    root = collector.request(op, trace_id)
+    child = root.child(child_name)
+    sim._now = start + duration
+    child.finish(child_outcome)
+    root.finish(outcome)
+    return root
+
+
+class TestClassification:
+    def _recorder(self, **spec_overrides):
+        sim = Simulator()
+        collector = SpanCollector(sim)
+        spec = FlightSpec(enabled=True, healthy_every=0, **spec_overrides)
+        return sim, collector, FlightRecorder(collector, spec)
+
+    def test_shed_and_failed_roots_kept(self):
+        sim, collector, flight = self._recorder()
+        _finish_trace(collector, sim, 1, outcome="shed")
+        _finish_trace(collector, sim, 2, outcome="failed")
+        _finish_trace(collector, sim, 3, outcome="ok")
+        assert [r.reasons for r in flight.records] == [("shed",), ("failed",)]
+        assert flight.traces_seen == 3
+        assert flight.traces_kept == 2
+        assert all(record.anomalous for record in flight.records)
+
+    def test_anomalous_stage_keeps_healthy_root(self):
+        sim, collector, flight = self._recorder()
+        _finish_trace(collector, sim, 1, child_outcome="degraded")
+        (record,) = flight.records
+        assert record.outcome == "ok"
+        assert record.reasons == ("stage_degraded",)
+
+    def test_wrong_shard_bounce_kept(self):
+        sim, collector, flight = self._recorder()
+        root = collector.request("write_request", 1)
+        root.event("route.wrong_shard")
+        root.finish("ok")
+        (record,) = flight.records
+        assert "wrong_shard" in record.reasons
+
+    def test_static_slow_threshold_per_op(self):
+        sim, collector, flight = self._recorder(
+            slow_threshold=msec(1), slow_thresholds=(("read_request", usec(50)),)
+        )
+        _finish_trace(collector, sim, 1, duration=usec(100))  # write: fast
+        _finish_trace(collector, sim, 2, duration=usec(100), op="read_request")
+        (record,) = flight.records
+        assert record.op == "read_request"
+        assert record.reasons == ("slow",)
+
+    def test_dynamic_p99_kicks_in_after_warmup(self):
+        sim, collector, flight = self._recorder(
+            slow_threshold=msec(50), dynamic_min_samples=100
+        )
+        for trace_id in range(100):
+            _finish_trace(collector, sim, trace_id, duration=usec(10))
+        assert flight.traces_kept == 0  # cold: nothing anomalous
+        _finish_trace(collector, sim, 1000, duration=usec(200))
+        (record,) = flight.records
+        assert record.reasons == ("slow_p99",)
+
+    def test_outlier_does_not_raise_its_own_bar(self):
+        # The dynamic histogram is fed *after* classification: the first
+        # post-warmup outlier is judged against the fast baseline.
+        sim, collector, flight = self._recorder(
+            slow_threshold=msec(50), dynamic_min_samples=10
+        )
+        for trace_id in range(10):
+            _finish_trace(collector, sim, trace_id, duration=usec(10))
+        _finish_trace(collector, sim, 100, duration=msec(10))
+        assert flight.traces_kept == 1
+
+    def test_healthy_traces_dropped_when_sampling_disabled(self):
+        sim, collector, flight = self._recorder()  # healthy_every=0
+        for trace_id in range(20):
+            _finish_trace(collector, sim, trace_id)
+        assert flight.traces_kept == 0
+        assert flight.traces_seen == 20
+
+
+class TestHealthySampling:
+    def test_one_in_n_keeps_a_baseline(self):
+        sim = Simulator()
+        collector = SpanCollector(sim)
+        flight = FlightRecorder(collector, FlightSpec(enabled=True, healthy_every=4))
+        for trace_id in range(64):
+            _finish_trace(collector, sim, trace_id)
+        assert 0 < flight.traces_kept < 64
+        assert all(record.reasons == ("sampled",) for record in flight.records)
+        assert not any(record.anomalous for record in flight.records)
+        assert flight.anomalous_records() == ()
+
+    def test_same_seed_same_sample(self):
+        def kept_ids(seed):
+            sim = Simulator()
+            collector = SpanCollector(sim)
+            flight = FlightRecorder(
+                collector, FlightSpec(enabled=True, healthy_every=4, seed=seed)
+            )
+            for trace_id in range(64):
+                _finish_trace(collector, sim, trace_id)
+            return [record.trace_id for record in flight.records]
+
+        assert kept_ids(7) == kept_ids(7)
+        assert kept_ids(7) != kept_ids(8)
+
+
+class TestRing:
+    def test_capacity_bounds_memory_keeps_newest(self):
+        sim = Simulator()
+        collector = SpanCollector(sim)
+        flight = FlightRecorder(
+            collector, FlightSpec(enabled=True, capacity=8, healthy_every=0)
+        )
+        for trace_id in range(20):
+            _finish_trace(collector, sim, trace_id, outcome="shed")
+        assert len(flight.records) == 8
+        assert flight.traces_kept == 20
+        assert flight.traces_evicted == 12
+        assert [record.trace_id for record in flight.records] == list(range(12, 20))
+
+    def test_kept_by_reason_counts(self):
+        sim = Simulator()
+        collector = SpanCollector(sim)
+        flight = FlightRecorder(collector, FlightSpec(enabled=True, healthy_every=0))
+        _finish_trace(collector, sim, 1, outcome="shed")
+        _finish_trace(collector, sim, 2, outcome="shed", child_outcome="retried")
+        assert flight.kept_by_reason == {"shed": 2, "stage_retried": 1}
+
+
+class TestAutoDump:
+    def test_first_anomaly_writes_once(self, tmp_path):
+        sim = Simulator()
+        collector = SpanCollector(sim)
+        flight = FlightRecorder(
+            collector, FlightSpec(enabled=True, healthy_every=1)
+        )
+        path = str(tmp_path / "flight.json")
+        flight.arm_auto_dump(path)
+        _finish_trace(collector, sim, 1)  # healthy sample: no dump
+        assert flight.auto_dumped is None
+        _finish_trace(collector, sim, 2, outcome="shed")
+        assert flight.auto_dumped == path
+        first = json.loads(open(path).read())
+        assert first["kept"] == 2
+        _finish_trace(collector, sim, 3, outcome="failed")  # no re-dump
+        assert json.loads(open(path).read())["kept"] == 2
+
+
+class TestExport:
+    def test_to_dict_is_schema_valid(self):
+        sim = Simulator()
+        collector = SpanCollector(sim)
+        flight = FlightRecorder(collector, FlightSpec(enabled=True, healthy_every=1))
+        _finish_trace(collector, sim, 1, outcome="shed")
+        _finish_trace(collector, sim, 2)
+        validate_flight({"recorders": [flight.to_dict()]})
+
+    def test_record_dump_carries_span_tree(self):
+        sim = Simulator()
+        collector = SpanCollector(sim)
+        flight = FlightRecorder(collector, FlightSpec(enabled=True, healthy_every=0))
+        _finish_trace(collector, sim, 1, outcome="shed", duration=usec(10))
+        dump = flight.to_dict()["records"][0]
+        assert dump["outcome"] == "shed"
+        assert dump["duration_us"] == pytest.approx(10.0)
+        assert [span["name"] for span in dump["spans"]] == [
+            "write_request",
+            "net.tx",
+        ]
+
+
+class TestEndToEnd:
+    def test_platform_flight_spec_arms_recorder_on_tier(self):
+        platform = dataclasses.replace(
+            DEFAULT_PLATFORM, flight=FlightSpec(enabled=True, healthy_every=1)
+        )
+        sim = Simulator()
+        registry = MetricsRegistry().attach(sim)
+        collector = SpanCollector(sim)
+        testbed = Testbed(sim, platform, n_storage_servers=3)
+        tier = CpuOnlyMiddleTier(sim, testbed, n_workers=2)
+        assert tier.flight is collector.flight is not None
+        driver = ClientDriver(
+            sim,
+            tier,
+            WriteRequestFactory(platform, seed=1),
+            concurrency=4,
+            warmup_fraction=0.0,
+        )
+        sim.run(until=driver.run(8))
+        flight = tier.flight
+        assert flight.traces_seen == 8
+        assert flight.traces_kept == 8  # healthy_every=1 keeps everything
+        # The registry probes report the recorder's counters.
+        names = {series["name"] for series in registry.to_dict()["series"]}
+        assert {"flight.traces_seen", "flight.traces_kept"} <= names
+
+    def test_disabled_platform_leaves_collector_bare(self):
+        sim = Simulator()
+        collector = SpanCollector(sim)
+        testbed = Testbed(sim, DEFAULT_PLATFORM, n_storage_servers=3)
+        tier = CpuOnlyMiddleTier(sim, testbed, n_workers=2)
+        assert tier.flight is None
+        assert collector.flight is None

@@ -1,0 +1,281 @@
+"""SLO monitor: error budgets, multi-window burn-rate alerts, verdicts.
+
+Covers spec validation, the sliding-window burn-rate math (fast trips
+before slow on an acute burst), alert latching + hysteresis re-arm,
+signal flavors (availability / latency / goodput floor), flight-ring
+capture at trip time, schema-valid export, and the tier integration:
+``platform.slos`` puts a monitor on every tier, and completions of all
+terminal statuses feed it.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.middletier import CpuOnlyMiddleTier, Testbed
+from repro.params import DEFAULT_PLATFORM, FlightSpec, SLOSpec
+from repro.sim import Simulator
+from repro.telemetry.flight import FlightRecorder
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.schemas import validate_slo
+from repro.telemetry.slo import (
+    DEFAULT_SLOS,
+    SLOMonitor,
+    slo_monitor_for,
+)
+from repro.telemetry.spans import SpanCollector
+from repro.units import msec, usec
+from repro.workloads import ClientDriver, WriteRequestFactory
+
+#: A tight spec the window tests share: 1% budget, 100 us fast window.
+TIGHT = SLOSpec(
+    name="avail",
+    signal="availability",
+    op="any",
+    target=0.99,
+    window=msec(2),
+    fast_window=usec(100),
+    slow_window=usec(500),
+)
+
+
+def _feed(monitor, sim, n, status, step=usec(1), op="write", **kwargs):
+    """Feed `n` completion records, advancing sim time by `step` each."""
+    for _ in range(n):
+        sim._now += step
+        monitor.record(op, status, **kwargs)
+
+
+class TestSpecValidation:
+    def test_bad_target_rejected(self):
+        with pytest.raises(ValueError):
+            SLOSpec(name="x", target=1.5)
+
+    def test_unknown_signal_rejected(self):
+        with pytest.raises(ValueError):
+            SLOSpec(name="x", signal="vibes")
+
+    def test_goodput_needs_floor(self):
+        with pytest.raises(ValueError):
+            SLOSpec(name="x", signal="goodput", goodput_floor=0.0)
+
+    def test_fast_window_must_not_exceed_slow(self):
+        with pytest.raises(ValueError):
+            SLOSpec(name="x", fast_window=msec(5), slow_window=msec(1))
+
+    def test_monitor_rejects_empty_and_duplicate_specs(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            SLOMonitor(sim, ())
+        with pytest.raises(ValueError):
+            SLOMonitor(sim, (TIGHT, TIGHT))
+
+
+class TestBurnRates:
+    def test_acute_burst_trips_fast_burn_once(self):
+        sim = Simulator()
+        monitor = SLOMonitor(sim, (TIGHT,))
+        # Fill the slow window with clean history, then burst: the
+        # 100 us fast window concentrates the burst (trips at ~15% bad)
+        # while the 500 us slow window dilutes it below its 6% bar.
+        _feed(monitor, sim, 450, "ok")
+        assert monitor.alerts == []
+        _feed(monitor, sim, 20, "shed")
+        fast = monitor.alerts_for("avail", "fast_burn")
+        assert len(fast) == 1  # latched: the burst pages exactly once
+        alert = fast[0]
+        assert alert.burn_rate >= TIGHT.fast_burn
+        assert alert.threshold == TIGHT.fast_burn
+        assert [a.kind for a in monitor.alerts] == ["fast_burn"]
+
+    def test_rearm_after_recovery_pages_again(self):
+        sim = Simulator()
+        monitor = SLOMonitor(sim, (TIGHT,))
+        _feed(monitor, sim, 450, "ok")
+        _feed(monitor, sim, 20, "shed")
+        assert len(monitor.alerts_for("avail", "fast_burn")) == 1
+        # Recovery: enough clean traffic that both windows drain and the
+        # latch re-arms below half the trip threshold.
+        _feed(monitor, sim, 700, "ok")
+        _feed(monitor, sim, 20, "shed")
+        assert len(monitor.alerts_for("avail", "fast_burn")) == 2
+
+    def test_chronic_trickle_trips_slow_burn_only(self):
+        sim = Simulator()
+        monitor = SLOMonitor(sim, (TIGHT,))
+        # 10% bad, spread out: fast burn 0.1/0.01 = 10x < 14.4x, but the
+        # slow threshold (6x) is exceeded.
+        for index in range(200):
+            sim._now += usec(1)
+            monitor.record("write", "unavailable" if index % 10 == 9 else "ok")
+        assert monitor.alerts_for("avail", "fast_burn") == ()
+        assert len(monitor.alerts_for("avail", "slow_burn")) == 1
+
+    def test_alert_counter_registered(self):
+        sim = Simulator()
+        registry = MetricsRegistry().attach(sim)
+        monitor = SLOMonitor(sim, (TIGHT,), name="m0")
+        _feed(monitor, sim, 50, "ok")
+        _feed(monitor, sim, 20, "shed")
+        counter = registry.get("slo.alerts", component="telemetry", monitor="m0")
+        assert counter.value == len(monitor.alerts) > 0
+
+
+class TestSignals:
+    def test_op_prefix_filter(self):
+        spec = dataclasses.replace(TIGHT, name="reads", op="read")
+        sim = Simulator()
+        monitor = SLOMonitor(sim, (spec,))
+        _feed(monitor, sim, 10, "shed", op="write")
+        assert monitor.state("reads").bad_total == 0
+        _feed(monitor, sim, 3, "shed", op="read_request")
+        assert monitor.state("reads").bad_total == 3
+
+    def test_wrong_shard_is_ignored(self):
+        sim = Simulator()
+        monitor = SLOMonitor(sim, (TIGHT,))
+        _feed(monitor, sim, 10, "wrong_shard")
+        state = monitor.state("avail")
+        assert state.good_total == state.bad_total == 0
+
+    def test_latency_signal_counts_slow_ok_as_bad(self):
+        spec = SLOSpec(
+            name="p99",
+            signal="latency",
+            op="any",
+            target=0.9,
+            latency_threshold=usec(100),
+            window=msec(2),
+            fast_window=usec(100),
+            slow_window=usec(500),
+        )
+        sim = Simulator()
+        monitor = SLOMonitor(sim, (spec,))
+        _feed(monitor, sim, 5, "ok", latency=usec(50))
+        _feed(monitor, sim, 5, "ok", latency=usec(500))
+        _feed(monitor, sim, 2, "shed", latency=usec(10))
+        state = monitor.state("p99")
+        assert state.good_total == 5
+        assert state.bad_total == 7
+
+    def test_goodput_floor_trips_and_rearms(self):
+        spec = SLOSpec(
+            name="gp",
+            signal="goodput",
+            op="any",
+            goodput_floor=1e8,  # bytes/s
+            window=msec(2),
+            fast_window=usec(100),
+            slow_window=usec(500),
+        )
+        sim = Simulator()
+        monitor = SLOMonitor(sim, (spec,))
+        # 4 KiB per us across the warm-up: ~4e9 B/s, well above floor.
+        _feed(monitor, sim, 200, "ok", nbytes=4096)
+        assert monitor.alerts == []
+        # Starve: traffic continues (metadata acks) but moves no bytes.
+        _feed(monitor, sim, 200, "ok", nbytes=0)
+        trips = monitor.alerts_for("gp", "goodput_floor")
+        assert len(trips) == 1
+        # Refill well past 2x the floor: the latch re-arms, a second
+        # starvation pages again.
+        _feed(monitor, sim, 200, "ok", nbytes=4096)
+        _feed(monitor, sim, 200, "ok", nbytes=0)
+        assert len(monitor.alerts_for("gp", "goodput_floor")) == 2
+        assert monitor.verdict()["gp"]["met"] is False
+
+
+class TestBudgets:
+    def test_budget_accounting(self):
+        spec = dataclasses.replace(TIGHT, target=0.98)
+        sim = Simulator()
+        monitor = SLOMonitor(sim, (spec,))
+        _feed(monitor, sim, 98, "ok", step=usec(50))
+        _feed(monitor, sim, 1, "failed", step=usec(50))
+        assert monitor.budget_remaining("avail") == pytest.approx(0.4949, abs=1e-3)
+        assert monitor.verdict()["avail"]["met"] is True
+        _feed(monitor, sim, 4, "failed", step=usec(50))
+        assert monitor.budget_remaining("avail") < 0
+        assert monitor.verdict()["avail"]["met"] is False
+
+
+class TestFlightCapture:
+    def test_alert_ships_ring_snapshot(self):
+        sim = Simulator()
+        collector = SpanCollector(sim)
+        flight = FlightRecorder(collector, FlightSpec(enabled=True, healthy_every=0))
+        monitor = SLOMonitor(sim, (TIGHT,), flight=flight)
+        for trace_id in range(5):
+            root = collector.request("write_request", trace_id)
+            sim._now += usec(1)
+            root.finish("shed")
+            monitor.record("write", "shed")
+        (alert, *_rest) = monitor.alerts
+        assert alert.traces  # the page carries its evidence
+        assert all(record.outcome == "shed" for record in alert.traces)
+        assert alert.traces == flight.snapshot()[: len(alert.traces)]
+
+
+class TestExportAndDiscovery:
+    def test_to_dict_is_schema_valid(self):
+        sim = Simulator()
+        monitor = SLOMonitor(sim, DEFAULT_SLOS)
+        _feed(monitor, sim, 30, "ok", op="read_request", latency=usec(10))
+        _feed(monitor, sim, 10, "shed", op="write")
+        validate_slo({"monitors": [monitor.to_dict()]})
+
+    def test_attach_and_lookup(self):
+        sim = Simulator()
+        assert slo_monitor_for(sim) is None
+        monitor = SLOMonitor(sim, (TIGHT,)).attach()
+        assert slo_monitor_for(sim) is monitor
+
+
+class TestTierIntegration:
+    def test_platform_slos_build_a_tier_monitor(self):
+        platform = dataclasses.replace(
+            DEFAULT_PLATFORM,
+            slos=(
+                SLOSpec(name="writes", signal="availability", op="write", target=0.99),
+            ),
+        )
+        sim = Simulator()
+        testbed = Testbed(sim, platform, n_storage_servers=3)
+        tier = CpuOnlyMiddleTier(sim, testbed, n_workers=2)
+        assert tier.slo is not None
+        driver = ClientDriver(
+            sim,
+            tier,
+            WriteRequestFactory(platform, seed=1),
+            concurrency=4,
+            warmup_fraction=0.0,
+        )
+        sim.run(until=driver.run(12))
+        verdict = tier.slo.verdict()["writes"]
+        assert verdict["total"] == 12
+        assert verdict["bad"] == 0
+        assert verdict["met"] is True
+        assert tier.slo.budget_remaining("writes") == pytest.approx(1.0)
+
+    def test_session_monitor_adopted_by_tier(self):
+        sim = Simulator()
+        monitor = SLOMonitor(sim, (TIGHT,)).attach()
+        testbed = Testbed(sim, DEFAULT_PLATFORM, n_storage_servers=3)
+        tier = CpuOnlyMiddleTier(sim, testbed, n_workers=2)
+        assert tier.slo is monitor
+        driver = ClientDriver(
+            sim,
+            tier,
+            WriteRequestFactory(DEFAULT_PLATFORM, seed=1),
+            concurrency=4,
+            warmup_fraction=0.0,
+        )
+        sim.run(until=driver.run(8))
+        assert monitor.state("avail").good_total == 8
+
+    def test_no_slos_costs_nothing(self):
+        sim = Simulator()
+        testbed = Testbed(sim, DEFAULT_PLATFORM, n_storage_servers=3)
+        tier = CpuOnlyMiddleTier(sim, testbed, n_workers=2)
+        assert tier.slo is None
+        assert tier._slo_monitors == ()

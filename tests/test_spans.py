@@ -17,6 +17,8 @@ from repro.core import SmartDsMiddleTier
 from repro.middletier import CpuOnlyMiddleTier, Testbed
 from repro.net.message import Message
 from repro.sim import Simulator
+from repro.telemetry.profiler import COMPONENTS, component_of
+from repro.telemetry.registry import MetricsRegistry
 from repro.telemetry.spans import OUTCOMES, SpanCollector, TraceSession
 from repro.units import usec
 from repro.workloads import ClientDriver, WriteRequestFactory
@@ -110,6 +112,65 @@ class TestSpanCollector:
         assert len(collector.spans) == 2
         assert collector.spans_dropped == 1
 
+    def test_cap_evicts_oldest_root_first(self):
+        # Ring semantics: at the cap, the *oldest trace* is evicted
+        # whole, so the buffer always holds the newest complete trees.
+        sim = Simulator()
+        collector = SpanCollector(sim, limit=4)
+        for trace_id in (1, 2):
+            root = collector.request("r", trace_id)
+            root.child("stage").finish()
+        assert collector.trace_ids == (1, 2)
+        # Trace 3's root is the 5th span: trace 1 (2 spans) must go.
+        collector.request("r", 3)
+        assert collector.trace_ids == (2, 3)
+        assert collector.trace(1) == ()
+        assert collector.spans_dropped == 2
+        assert collector.traces_evicted == 1
+        # The evicted trace's trees are gone but the newer ones intact.
+        assert [span.trace_id for span in collector.spans] == [2, 2, 3]
+
+    def test_cap_honored_under_concurrent_roots(self):
+        sim = Simulator()
+        limit = 6
+        collector = SpanCollector(sim, limit=limit)
+        created = 0
+        roots = [collector.request("r", trace_id) for trace_id in range(4)]
+        created += len(roots)
+        for name in ("a", "b"):  # interleave children across open traces
+            for root in roots:
+                root.child(name)
+                created += 1
+                assert len(collector.spans) <= limit
+        # Conservation: every span created was either kept or counted.
+        assert collector.spans_dropped == created - len(collector.spans)
+        assert collector.traces_evicted > 0
+
+    def test_one_giant_trace_drops_new_spans_not_old(self):
+        sim = Simulator()
+        collector = SpanCollector(sim, limit=3)
+        root = collector.request("r", 1)
+        root.child("kept")
+        root.child("kept2")
+        root.child("dropped")  # the trace *is* the oldest: drop the new span
+        assert collector.trace_ids == (1,)
+        assert len(collector.spans) == 3
+        assert collector.spans_dropped == 1
+        assert collector.traces_evicted == 0
+
+    def test_dropped_span_counter_exposed_in_registry(self):
+        sim = Simulator()
+        registry = MetricsRegistry().attach(sim)
+        collector = SpanCollector(sim, limit=1)
+        root = collector.request("r", 1)
+        root.child("dropped")
+        series = registry.get("trace.spans_dropped", component="telemetry")
+        assert series is not None
+        assert series.value == 1
+        assert collector.spans_dropped == 1
+        dump = registry.to_dict()
+        assert any(entry["name"] == "trace.spans_dropped" for entry in dump["series"])
+
     def test_critical_path_follows_latest_finish(self):
         sim = Simulator()
         collector = SpanCollector(sim)
@@ -144,16 +205,41 @@ class TestSpanCollector:
         document = collector.to_chrome_trace(pid=7)
         json.dumps(document)  # strictly serialisable, exotic attrs and all
         events = document["traceEvents"]
-        assert len(events) == 2
-        complete = events[0]
-        assert complete["ph"] == "X"
-        assert complete["pid"] == 7 and complete["tid"] == 1
+        spans = [e for e in events if e["ph"] == "X"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        assert len(spans) == 2
+        complete = spans[0]
+        # Both spans fold to the "other" component: one process, pid
+        # namespaced under the collector's pid, named for Perfetto.
+        other_pid = 7 * 100 + COMPONENTS.index("other")
+        assert complete["pid"] == other_pid and complete["tid"] == 1
         assert complete["ts"] == pytest.approx(0.0)
         assert complete["dur"] == pytest.approx(1.0)  # microseconds
         assert complete["args"]["outcome"] == "ok"
         assert complete["args"]["bytes"] == 64
-        assert events[1]["args"]["outcome"] == "open"
+        assert spans[1]["args"]["outcome"] == "open"
         assert open_span.end is None
+        names = {e["name"]: e for e in metadata}
+        assert names["process_name"]["args"]["name"] == "sim7 other"
+        assert names["thread_name"]["tid"] == 1
+        assert names["process_sort_index"]["args"]["sort_index"] == COMPONENTS.index("other")
+
+    def test_chrome_trace_groups_spans_by_component(self):
+        sim = Simulator()
+        collector = SpanCollector(sim)
+        root = collector.request("write_request", 9)
+        root.child("net.write_request").finish()
+        root.child("admission.shed").finish("shed")
+        root.finish("shed")
+        document = collector.to_chrome_trace(pid=1)
+        by_pid = {}
+        for event in document["traceEvents"]:
+            if event["ph"] == "M" and event["name"] == "process_name":
+                by_pid[event["pid"]] = event["args"]["name"]
+        assert set(by_pid.values()) == {"sim1 client", "sim1 net", "sim1 admission"}
+        spans = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        for span in spans:
+            assert by_pid[span["pid"]].endswith(component_of(span["name"]))
 
     def test_write_chrome_trace(self, tmp_path):
         sim = Simulator()
@@ -269,13 +355,16 @@ class TestTraceSession:
         assert after._span_collector is None
         assert len(session.collectors) == 1
 
-    def test_merged_chrome_trace_uses_one_pid_per_sim(self):
+    def test_merged_chrome_trace_namespaces_pids_per_sim(self):
         with TraceSession(sample_interval=None) as session:
             for _ in range(2):
                 sim = Simulator()
                 sim._span_collector.request("r", 1).finish("ok")
         document = session.to_chrome_trace()
-        assert {event["pid"] for event in document["traceEvents"]} == {1, 2}
+        # Component pids are namespaced per collector: sim N's processes
+        # live in [N*100, N*100+len(COMPONENTS)).
+        pids = {event["pid"] for event in document["traceEvents"]}
+        assert {pid // 100 for pid in pids} == {1, 2}
         assert session.total_spans == 2
         assert session.total_traces == 2
 

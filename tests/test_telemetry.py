@@ -270,6 +270,34 @@ class TestMetricsRegistry:
         assert by_name["lat"]["type"] == "latency" and by_name["lat"]["summary"] is None
         assert by_name["bw"]["type"] == "bandwidth"
 
+    def test_to_dict_sorted_and_probes_included(self):
+        registry = MetricsRegistry()
+        # Registered deliberately out of order, with label variants.
+        registry.counter("zeta").add()
+        registry.gauge_callable("probe.depth", lambda: 4.0, component="tier")
+        registry.counter("alpha", shard="s1").add()
+        registry.counter("alpha", shard="s0").add()
+        series = registry.to_dict()["series"]
+        keys = [
+            (entry["name"], tuple(sorted(entry["labels"].items())))
+            for entry in series
+        ]
+        assert keys == sorted(keys)  # dumps of the same run diff cleanly
+        probe = next(entry for entry in series if entry["type"] == "probe")
+        assert probe["name"] == "probe.depth"
+        assert probe["value"] == 4.0
+
+    def test_to_dict_survives_crashing_probe(self):
+        registry = MetricsRegistry()
+
+        def bad() -> float:
+            raise RuntimeError("sensor detached")
+
+        registry.gauge_callable("probe.bad", bad)
+        (entry,) = registry.to_dict()["series"]
+        assert entry["type"] == "probe"
+        assert entry["value"] is None
+
     def test_gauge_callable_probed_at_sample_time(self):
         registry = MetricsRegistry()
         depth = [0]
