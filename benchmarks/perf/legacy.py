@@ -16,6 +16,7 @@ from repro.compression.lz4 import (
     MAX_OFFSET,
     MF_LIMIT,
     MIN_MATCH,
+    CorruptFrameError,
     _emit_sequence,
 )
 from repro.sim.events import Event, SimulationError
@@ -112,4 +113,73 @@ def legacy_lz4_compress(data: bytes) -> bytes:
         anchor = i
 
     _emit_sequence(out, src[anchor:n], offset=None, match_extra=0)
+    return bytes(out)
+
+
+def _legacy_read_lsic(blob: bytes, pos: int) -> tuple[int, int]:
+    """Seed LSIC reader (helper-call-per-extension form)."""
+    total = 0
+    while True:
+        if pos >= len(blob):
+            raise CorruptFrameError("truncated LSIC length extension")
+        byte = blob[pos]
+        pos += 1
+        total += byte
+        if byte != 255:
+            return total, pos
+
+
+def legacy_lz4_decompress(blob: bytes, max_output: int = 1 << 30) -> bytes:
+    """The seed `lz4_decompress`: helper calls and ``len(out)`` re-measures per sequence."""
+    out = bytearray()
+    pos = 0
+    n = len(blob)
+    if n == 0:
+        raise CorruptFrameError("empty input is not a valid LZ4 block")
+
+    while pos < n:
+        token = blob[pos]
+        pos += 1
+
+        literal_len = token >> 4
+        if literal_len == 15:
+            extra, pos = _legacy_read_lsic(blob, pos)
+            literal_len += extra
+        if pos + literal_len > n:
+            raise CorruptFrameError("literal run overflows input")
+        out += blob[pos : pos + literal_len]
+        pos += literal_len
+        if len(out) > max_output:
+            raise CorruptFrameError("output exceeds max_output")
+
+        if pos == n:
+            break  # final sequence has no match part
+
+        if pos + 2 > n:
+            raise CorruptFrameError("truncated match offset")
+        offset = blob[pos] | (blob[pos + 1] << 8)
+        pos += 2
+        if offset == 0:
+            raise CorruptFrameError("match offset of zero")
+        if offset > len(out):
+            raise CorruptFrameError("match offset reaches before output start")
+
+        match_len = (token & 0x0F) + MIN_MATCH
+        if (token & 0x0F) == 15:
+            extra, pos = _legacy_read_lsic(blob, pos)
+            match_len += extra
+
+        start = len(out) - offset
+        if offset >= match_len:
+            out += out[start : start + match_len]
+        else:
+            # Overlapping match: the copied region grows as we copy. Build
+            # it by doubling the seed chunk.
+            chunk = bytes(out[start:])
+            while len(chunk) < match_len:
+                chunk += chunk
+            out += chunk[:match_len]
+        if len(out) > max_output:
+            raise CorruptFrameError("output exceeds max_output")
+
     return bytes(out)

@@ -38,6 +38,7 @@ BENCH_SPEC: dict = {
     },
     "kernel": {
         "timeout_fanout": _TIMING,
+        "timeout_batch_fanout": dict(_TIMING, schedule_speedup=_NUMBER),
         "process_chain": _TIMING,
     },
     "resource": {
@@ -48,20 +49,38 @@ BENCH_SPEC: dict = {
         "speedup": _NUMBER,
     },
     "store": {"items": (int,), "seconds": _NUMBER, "ops_per_sec": _NUMBER},
+    "bandwidth": {
+        "transfers": (int,),
+        "fast_on_events": (int,),
+        "fast_off_events": (int,),
+        "event_reduction": _NUMBER,
+        "fast_on_transfers_per_sec": _NUMBER,
+        "fast_off_transfers_per_sec": _NUMBER,
+        "wall_speedup": _NUMBER,
+    },
     "lz4": {
         "block_size": (int,),
         "compress_text_blocks": _COMPRESS_CLASS,
         "compress_low_redundancy_blocks": _COMPRESS_CLASS,
         "compress_corpus_blocks": _COMPRESS_CLASS,
         "compress_stream": _COMPRESS_CLASS,
-        "decompress_corpus_blocks": {"output_bytes": _NUMBER, "mb_per_sec": _NUMBER},
+        "decompress_corpus_blocks": {
+            "output_bytes": _NUMBER,
+            "mb_per_sec": _NUMBER,
+            "legacy_mb_per_sec": _NUMBER,
+            "speedup": _NUMBER,
+        },
     },
     "macro": dict,
     "summary": {
         "resource_deep_queue_speedup": _NUMBER,
         "lz4_compress_low_redundancy_speedup": _NUMBER,
         "lz4_compress_corpus_speedup": _NUMBER,
+        "lz4_compress_text_speedup": _NUMBER,
+        "lz4_decompress_speedup": _NUMBER,
+        "bandwidth_event_reduction": _NUMBER,
         "kernel_events_per_sec": _NUMBER,
+        "macro_events_per_sec": dict,
         "harness_seconds": _NUMBER,
     },
 }

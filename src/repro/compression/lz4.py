@@ -4,23 +4,39 @@ Implements the LZ4 block format (https://github.com/lz4/lz4, the
 algorithm the paper offloads to its FPGA engines): a stream of sequences,
 each a token byte (literal-length nibble, match-length nibble), optional
 LSIC length extensions, literal bytes, a 2-byte little-endian match
-offset, and an optional match-length extension. The compressor is the
-classic greedy hash-table matcher with the format's end-of-block
-restrictions (the last 5 bytes are always literals; no match starts
-within the last 12 bytes).
+offset, and an optional match-length extension. The compressor is a
+greedy matcher with the format's end-of-block restrictions (the last 5
+bytes are always literals; no match starts within the last 12 bytes).
 
 This codec is used for *functional* fidelity (real bytes really get
 compressed and restored along the simulated datapath) and to calibrate
 the corpus compression ratios; simulated compression *speed* comes from
 :mod:`repro.compression.model`.
 
-The compressor's match table is a fixed-size position array like
-reference LZ4's (see :data:`HASH_LOG`), with window hashes computed in
-one vectorized numpy pass — see ``benchmarks/perf`` and
-``docs/performance.md`` for the measured profile.
+Two compressor paths share the emit helpers and produce interchangeable
+blocks:
+
+- ``_compress_scalar`` — the classic per-position hash-table scan with a
+  fixed ``2**HASH_LOG`` table and skip acceleration. Used for small
+  inputs (numpy dispatch overhead dominates) and very large ones (the
+  vector path's sort-built chains grow superlinearly past ~256 KiB).
+- ``_compress_vector`` — the whole block is compressed with numpy array
+  passes: one sort builds every position's previous-occurrence chain,
+  candidate verification and match extension run as array compares, and
+  the output block is assembled with gather/scatter index arithmetic.
+  The only per-sequence Python left is a pointer-following loop over a
+  precomputed jump table. See ``docs/performance.md`` for the profile.
+
+An optional *native* backend (the ``lz4`` PyPI package's block API) can
+take over compression when ``REPRO_LZ4_NATIVE=1`` and the package is
+importable; its output is standard block format and round-trips through
+:func:`lz4_decompress`. The pure codec remains the default and the
+fidelity reference.
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 
@@ -33,28 +49,95 @@ LAST_LITERALS = 5
 #: Maximum distance a match offset can reach back.
 MAX_OFFSET = 0xFFFF
 
-#: log2 of the match-table slot count. The table is a fixed-size array of
-#: ``2**HASH_LOG`` positions indexed by a multiplicative hash of the
-#: 4-byte window (reference LZ4's layout), so compressor memory no longer
-#: grows with the input — the previous implementation retained one fresh
-#: 4-byte ``bytes`` key per input position in an unbounded dict.
+#: log2 of the match-table slot count. The scalar path keeps a fixed
+#: array of ``2**HASH_LOG`` positions (reference LZ4's layout); the
+#: vector path reports the same bound from its hash-sorted chain.
 HASH_LOG = 13
 
-#: After ``2**SKIP_TRIGGER`` consecutive match misses the scan starts
-#: striding (reference LZ4's skip acceleration): incompressible regions
-#: cost O(n / step) instead of a table probe per byte.
+#: After ``2**SKIP_TRIGGER`` consecutive match misses the scalar scan
+#: starts striding (reference LZ4's skip acceleration).
 SKIP_TRIGGER = 5
 
-#: Stride for chunked match extension: compare this many bytes per slice
-#: comparison before falling back to byte-at-a-time for the tail.
+#: Stride for chunked match extension in the scalar path.
 _EXTEND_STRIDE = 32
 
 #: Fibonacci multiplicative-hash constant (reference LZ4's 2654435761).
 _HASH_MULTIPLIER = np.uint32(2654435761)
 
+#: Inputs shorter than this take the scalar path: below ~1 KiB the fixed
+#: cost of the vector passes exceeds the whole scalar scan.
+_VECTOR_MIN = 1024
+
+#: Inputs longer than this also take the scalar path. The sort-built
+#: candidate chains grow superlinearly with input size (longer chains to
+#: walk per position, bigger survivor sets per extension round), and past
+#: ~256 KiB the vector passes fall below the bounded-table scalar scan —
+#: which the datapath never notices, since it compresses 4 KiB blocks.
+_VECTOR_MAX = 1 << 18
+
+#: The vectorized match extension compares 4-byte groups for this many
+#: rounds (matches up to ``4 + 4*_MAX_EXTEND_GROUPS + 3`` bytes) before
+#: giving up on the remaining (rare) very long matches; a small survivor
+#: set is finished exactly in Python, a large one (all-runs input) is
+#: truncated and the follow-up match continues the run.
+_MAX_EXTEND_GROUPS = 16
+
+#: Candidate thinning: inside a run of at least this many consecutive
+#: match candidates, only every 4th position is kept (plus the run head).
+#: Greedy selection lands on a nearby survivor and the vectorized
+#: *backward* extension recovers the skipped bytes, so the ratio cost is
+#: small while candidate-array work drops ~2x on dense (text) input.
+_THIN_RUN = 4
+
+#: Backward extension is capped at this many bytes: enough to undo
+#: thinning (spacing 4) with headroom, while bounding the per-byte
+#: array-compare rounds.
+_BACK_CAP = 8
+
+#: When the surviving set in the group-extension loop falls to this size
+#: or below, the remaining long matches are finished exactly in Python
+#: instead of paying further whole-array rounds.
+_FINISH_SCALAR = 16
+
+#: Per-block-size constants (index ramp, thinning mask) are cached and
+#: reused — datapath traffic compresses fixed-size blocks, so the same
+#: few sizes recur constantly.
+_SIZE_CACHE: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+_SIZE_CACHE_MAX = 8
+
 
 class CorruptFrameError(ValueError):
     """Raised when decompression meets malformed input."""
+
+
+# --------------------------------------------------------------------------
+# Optional native backend (the `lz4` PyPI package), env-gated.
+
+_native_module: object = None
+_native_probed = False
+
+
+def native_backend_available() -> bool:
+    """True when the ``lz4`` PyPI package's block API is importable."""
+    global _native_module, _native_probed
+    if not _native_probed:
+        _native_probed = True
+        try:
+            from lz4 import block as _block  # type: ignore[import-not-found]
+
+            _native_module = _block
+        except Exception:
+            _native_module = None
+    return _native_module is not None
+
+
+def _native_backend():
+    """The native block module, iff enabled via ``REPRO_LZ4_NATIVE=1``."""
+    if os.environ.get("REPRO_LZ4_NATIVE") != "1":
+        return None
+    if not native_backend_available():
+        return None
+    return _native_module
 
 
 def _write_lsic(out: bytearray, value: int) -> None:
@@ -100,29 +183,36 @@ def lz4_compress(
     the reference implementation, incompressible input grows slightly
     (one token plus LSIC bytes of overhead).
 
-    The matcher is reference LZ4's greedy scan, restructured for CPython:
+    Inputs of :data:`_VECTOR_MIN` to :data:`_VECTOR_MAX` bytes go
+    through the fully vectorized matcher (``_compress_vector``); inputs
+    outside that band through the scalar hash-table scan
+    (``_compress_scalar``). Both emit standard block format; they may
+    pick different (equally valid) matches.
 
-    - Window hashes for every position are computed up front in one
-      vectorized numpy pass (4-byte little-endian windows times the
-      Fibonacci constant), so the scan loop never does per-position
-      arithmetic or allocates per-position ``bytes`` keys.
-    - The match table is a fixed array of ``2**_hash_log`` positions,
-      overwritten in place — peak size is independent of input length.
-      A hash hit is verified with one 4-byte compare (collisions lose a
-      match, never correctness).
-    - Misses accelerate: after ``2**SKIP_TRIGGER`` consecutive misses the
-      scan strides ahead ever faster, so low-redundancy input (random,
-      encrypted, already-compressed blocks) costs far less than a probe
-      per byte.
-    - Match extension compares :data:`_EXTEND_STRIDE`-byte chunks before
-      finishing byte-wise.
+    When ``REPRO_LZ4_NATIVE=1`` and the ``lz4`` PyPI package is
+    installed, compression is delegated to the native block API instead
+    (unless `_stats` or a non-default `_hash_log` is requested, which
+    only the pure paths honour).
 
     `_stats`, when given a dict, receives ``table_slots`` and
     ``peak_table_entries`` (test/diagnostic hook; zero hot-path cost) —
     both are at most ``2**_hash_log`` for any input size.
     """
+    if _stats is None and _hash_log == HASH_LOG:
+        native = _native_backend()
+        if native is not None:
+            return native.compress(bytes(data), store_size=False)
     src = memoryview(bytes(data))
     n = len(src)
+    if _VECTOR_MIN <= n <= _VECTOR_MAX:
+        return _compress_vector(src, n, _hash_log, _stats)
+    return _compress_scalar(src, n, _hash_log, _stats)
+
+
+def _compress_scalar(
+    src: memoryview, n: int, _hash_log: int, _stats: dict | None
+) -> bytes:
+    """Per-position greedy scan with a fixed hash table (small inputs)."""
     out = bytearray()
     if n == 0:
         if _stats is not None:
@@ -208,6 +298,291 @@ def lz4_compress(
     return bytes(out)
 
 
+def _compress_vector(
+    src: memoryview, n: int, _hash_log: int, _stats: dict | None
+) -> bytes:
+    """Whole-block vectorized greedy matcher.
+
+    The scan is restructured from "loop over positions, probe a table"
+    into array passes over *all* positions at once:
+
+    1. **Chain build.** Pack ``(window_hash, position)`` into one integer
+       key per position and sort it: each position's predecessor in the
+       sorted order with the same hash is its nearest earlier candidate
+       — the same candidate an always-overwritten 1-slot table would
+       yield, computed without a sequential probe loop.
+    2. **Verify.** One array compare checks every candidate's 4-byte
+       window and offset distance; dense candidate runs are thinned
+       (:data:`_THIN_RUN`).
+    3. **Extend.** Match lengths for all candidates advance 4 bytes per
+       array compare round (:data:`_MAX_EXTEND_GROUPS`), plus a final
+       XOR pass that scores the 0–3 byte tail.
+    4. **Select.** A rank cumsum over ``valid`` precomputes each
+       candidate's jump target (first candidate past its match, as
+       ``rank[i + L - 1]``); greedy selection is then
+       a pointer-following Python loop — the only per-sequence Python in
+       the function. Selected matches extend *backward* into their
+       literal run (array passes again), recovering bytes thinning
+       skipped.
+    5. **Assemble.** Tokens, LSIC extensions, literal copies, and
+       offsets are scattered into one output buffer with index
+       arithmetic (ranges become gather/scatter index arrays via
+       repeat + cumsum).
+    """
+    out = bytearray()
+    match_scan_end = n - MF_LIMIT
+    anchor = 0
+    raw = src.obj
+    if match_scan_end > 0:
+        nw = n - 3
+        # Contiguous copy of the 4-byte windows: the strided overlapping
+        # view is cheap to copy once and every later gather on the
+        # contiguous array is substantially faster.
+        w = np.ndarray(buffer=raw, shape=(nw,), dtype="<u4", strides=(1,)).copy()
+        hashes = (w * _HASH_MULTIPLIER) >> np.uint32(32 - _hash_log)
+        cached = _SIZE_CACHE.get(nw)
+        if cached is None:
+            if len(_SIZE_CACHE) >= _SIZE_CACHE_MAX:
+                _SIZE_CACHE.clear()
+            pos = np.arange(nw, dtype=np.intp)
+            cached = (
+                pos,
+                pos.astype(np.uint32),
+                (pos & (_THIN_RUN - 1)) != 0,
+            )
+            _SIZE_CACHE[nw] = cached
+        pos, pos_u32, mod_mask = cached
+        pos_bits = nw.bit_length()
+        if _hash_log + pos_bits <= 32:
+            key = np.left_shift(hashes, np.uint32(pos_bits), out=hashes)
+            key |= pos_u32
+            key.sort()
+            order = (key & np.uint32((1 << pos_bits) - 1)).astype(np.intp)
+            oh = key >> np.uint32(pos_bits)
+        else:
+            key = hashes.astype(np.uint64) << np.uint64(32)
+            key |= pos.view(np.uint64)
+            key.sort()
+            order = (key & np.uint64(0xFFFFFFFF)).astype(np.intp)
+            oh = key >> np.uint64(32)
+        same = oh[1:] == oh[:-1]
+        if _stats is not None:
+            _stats.update(
+                table_slots=1 << _hash_log,
+                peak_table_entries=int(same.size - int(same.sum())) + (1 if same.size else 1),
+            )
+        cand = pos.copy()
+        cand[order[1:][same]] = order[:-1][same]
+        # dist-1 as unsigned folds the "is a real predecessor" (dist > 0)
+        # and the window-distance checks into one compare.
+        dist = pos - cand
+        valid = (dist - 1).view(np.uint64) < np.uint64(MAX_OFFSET)
+        valid &= w[cand] == w
+        valid[match_scan_end:] = False
+        if nw > 64:
+            run = valid[: -(_THIN_RUN - 1)] & valid[1 : 2 - _THIN_RUN]
+            for k in range(2, _THIN_RUN - 1):
+                run &= valid[k : k + 1 - _THIN_RUN]
+            run &= valid[_THIN_RUN - 1 :]
+            run &= mod_mask[_THIN_RUN - 1 :]
+            valid[_THIN_RUN - 1 :] &= ~run
+        vidx = np.flatnonzero(valid)
+        if vidx.size:
+            vc = cand[vidx]
+            L = np.full(vidx.size, MIN_MATCH, dtype=np.intp)
+            act = np.arange(vidx.size, dtype=np.intp)
+            limit = nw - 1
+            g = 0
+            while act.size > _FINISH_SCALAR and g < _MAX_EXTEND_GROUPS:
+                g += 1
+                off = 4 * g
+                ia = vidx[act] + off
+                if int(ia[-1]) > limit:
+                    # act is sorted by position, so out-of-range reads are a
+                    # suffix — slice instead of boolean-filtering.
+                    cut = int(np.searchsorted(ia, limit, side="right"))
+                    if not cut:
+                        break
+                    act = act[:cut]
+                    ia = ia[:cut]
+                still = w[vc[act] + off] == w[ia]
+                act = act[still]
+                L[act] += 4
+            if act.size > _FINISH_SCALAR:
+                # Many matches are still extending after every vector
+                # round: the highly repetitive regime (long runs), where
+                # capping match length would fragment giant matches and
+                # crater the ratio. The scalar path is fast exactly here —
+                # one long match per run, extended 8 bytes per iteration
+                # with skip acceleration — so hand the block over wholesale.
+                return _compress_scalar(src, n, _hash_log, _stats)
+            if act.size:
+                # A small survivor set of long matches: finish them exactly
+                # (bounded per match; runs past the bound chain into the
+                # immediately following candidate instead).
+                end_cap = n - LAST_LITERALS
+                for a in act.tolist():
+                    i0 = int(vidx[a])
+                    c0 = int(vc[a])
+                    length = int(L[a])
+                    cap = min(end_cap - i0, length + 2048)
+                    while (
+                        length + 8 <= cap
+                        and raw[c0 + length : c0 + length + 8]
+                        == raw[i0 + length : i0 + length + 8]
+                    ):
+                        length += 8
+                    while length < cap and raw[c0 + length] == raw[i0 + length]:
+                        length += 1
+                    L[a] = length
+            # Deferred tail pass: score the 0-3 extra bytes after the last
+            # whole 4-byte group from one XOR. Clipping to the format's
+            # end-restriction first keeps every read in range (vidx + L <=
+            # n - LAST_LITERALS <= nw - 1) with no per-element guard;
+            # exactly-finished matches XOR non-equal windows, scoring 0.
+            room = (n - LAST_LITERALS) - vidx
+            np.minimum(L, room, out=L)
+            d = w[vc + L] ^ w[vidx + L]
+            L += (d & 0xFF) == 0
+            L += (d & 0xFFFF) == 0
+            L += (d & 0xFFFFFF) == 0
+            np.minimum(L, room, out=L)
+            # Greedy selection. rank[p] counts candidates at positions <= p,
+            # so rank[i + L - 1] is the index of the first candidate past
+            # the match at i — the jump table, via one cumsum + gather.
+            # The greedy chain from candidate 0 is then enumerated by
+            # pointer doubling: each round appends jump[path] and squares
+            # the jump table, so a k-sequence chain needs ~log2(k) array
+            # gathers instead of k Python iterations. A sentinel entry at
+            # index m absorbs the chain end (jump[m] == m), making the
+            # path sorted: real entries, then repeated m's.
+            rank = np.cumsum(valid)
+            m = vidx.size
+            jump = np.empty(m + 1, dtype=np.intp)
+            jump[:-1] = rank[vidx + L - 1]
+            jump[-1] = m
+            path = np.zeros(1, dtype=np.intp)
+            while True:
+                ext = jump[path]
+                path = np.concatenate((path, ext))
+                if int(ext[-1]) >= m:
+                    break
+                jump = jump[jump]
+            s = path[: int(np.searchsorted(path, m))]
+            ai = vidx[s]
+            al = L[s]
+            ad = dist[ai]
+            ends = ai + al
+            anchors = np.empty_like(ai)
+            anchors[0] = 0
+            anchors[1:] = ends[:-1]
+            # Backward extension: grow each match into its literal run
+            # (match end — and therefore the next match's room — is
+            # unchanged, so every match extends independently).
+            back_room = np.minimum(ai - anchors, np.intp(_BACK_CAP))
+            barr = np.frombuffer(raw, dtype=np.uint8)
+            if bool((back_room > 0).any()):
+                # One u64 XOR per match scores all (<= _BACK_CAP = 8)
+                # backward bytes at once: the window ending at ai-1 agrees
+                # with the window ending at ai-ad-1 in exactly the XOR's
+                # leading-zero bytes (little-endian, so high bytes are the
+                # positions adjacent to the match head). Reads need 8 bytes
+                # of history before the match *source*; the few matches
+                # whose source sits in the first 8 bytes skip extension.
+                w8 = np.ndarray(buffer=raw, shape=(n - 7,), dtype="<u8", strides=(1,))
+                ok = (ai - ad) >= 8
+                i1 = np.where(ok, ai, np.intp(8)) - 8
+                d = w8[i1] ^ w8[i1 - ad]
+                back = (d < (1 << 56)).astype(np.intp)
+                back += d < (1 << 48)
+                back += d < (1 << 40)
+                back += d < (1 << 32)
+                back += d < (1 << 24)
+                back += d < (1 << 16)
+                back += d < (1 << 8)
+                back += d == 0
+                back *= ok
+                np.minimum(back, back_room, out=back)
+                ai = ai - back
+                al = al + back
+            lit = ai - anchors
+            extra = al - MIN_MATCH
+            # Assembly: compute every byte's destination, then scatter.
+            long_lit = bool(lit.max() >= 15)
+            long_match = bool(extra.max() >= 15)
+            seq_len = lit + 3
+            if long_lit:
+                lv = lit - 15
+                le = np.where(lit >= 15, lv // 255 + 1, 0)
+                seq_len = seq_len + le
+            if long_match:
+                mv = extra - 15
+                me = np.where(extra >= 15, mv // 255 + 1, 0)
+                seq_len = seq_len + me
+            seq_off = np.empty_like(seq_len)
+            seq_off[0] = 0
+            np.cumsum(seq_len[:-1], out=seq_off[1:])
+            buf = np.empty(int(seq_off[-1] + seq_len[-1]), dtype=np.uint8)
+            buf[seq_off] = np.minimum(lit, 15) << 4 | np.minimum(extra, 15)
+            lstart = seq_off + 1
+            if long_lit:
+                lstart = lstart + le
+            total = int(lit.sum())
+            if total:
+                ramp = _iota(total) - np.repeat(np.cumsum(lit) - lit, lit)
+                buf[np.repeat(lstart, lit) + ramp] = barr[np.repeat(ai - lit, lit) + ramp]
+            op = lstart + lit
+            buf[op] = ad & 0xFF
+            buf[op + 1] = ad >> 8
+            if long_lit and long_match:
+                _scatter_lsic(
+                    buf,
+                    np.concatenate((seq_off + 1, op + 2)),
+                    np.concatenate((le, me)),
+                    np.concatenate((lv, mv)),
+                )
+            elif long_lit:
+                _scatter_lsic(buf, seq_off + 1, le, lv)
+            elif long_match:
+                _scatter_lsic(buf, op + 2, me, mv)
+            out += buf.tobytes()
+            anchor = int(ends[-1])
+    elif _stats is not None:
+        _stats.update(table_slots=0, peak_table_entries=0)
+
+    _emit_sequence(out, src[anchor:n], offset=None, match_extra=0)
+    return bytes(out)
+
+
+_IOTA = np.arange(8192, dtype=np.intp)
+
+
+def _iota(total: int) -> np.ndarray:
+    """A read-only view of ``arange(total)`` from a grow-only cache."""
+    global _IOTA
+    if total > _IOTA.size:
+        _IOTA = np.arange(max(total, 2 * _IOTA.size), dtype=np.intp)
+    return _IOTA[:total]
+
+
+def _scatter_lsic(
+    buf: np.ndarray, start: np.ndarray, count: np.ndarray, value: np.ndarray
+) -> None:
+    """Scatter LSIC extensions (``count[k]`` bytes at ``start[k]``) into `buf`.
+
+    Every extension byte is 255 except the last, which carries
+    ``value % 255`` — scattered as a range-fill (via repeat + cumsum
+    index arrays) plus one fancy write for the final bytes.
+    """
+    has = np.flatnonzero(count)
+    c = count[has]
+    st = start[has]
+    total = int(c.sum())
+    ramp = _iota(total) - np.repeat(np.cumsum(c) - c, c)
+    buf[np.repeat(st, c) + ramp] = 255
+    buf[st + c - 1] = value[has] % 255
+
+
 def _read_lsic(blob: bytes, pos: int) -> tuple[int, int]:
     """Read an LSIC extension at `pos`; returns (value, next position)."""
     total = 0
@@ -226,12 +601,19 @@ def lz4_decompress(blob: bytes, max_output: int = 1 << 30) -> bytes:
 
     `max_output` bounds the output size to keep corrupt input from
     ballooning memory; exceeding it raises :class:`CorruptFrameError`.
+
+    The sequence loop keeps everything in locals, tracks the output
+    length itself instead of re-measuring the buffer, and inlines the
+    common LSIC-free header parse; literal and match copies are bulk
+    slice operations (overlapping matches build their region by doubling
+    a seed chunk).
     """
-    out = bytearray()
     pos = 0
     n = len(blob)
     if n == 0:
         raise CorruptFrameError("empty input is not a valid LZ4 block")
+    out = bytearray()
+    olen = 0
 
     while pos < n:
         token = blob[pos]
@@ -239,14 +621,23 @@ def lz4_decompress(blob: bytes, max_output: int = 1 << 30) -> bytes:
 
         literal_len = token >> 4
         if literal_len == 15:
-            extra, pos = _read_lsic(blob, pos)
-            literal_len += extra
-        if pos + literal_len > n:
-            raise CorruptFrameError("literal run overflows input")
-        out += blob[pos : pos + literal_len]
-        pos += literal_len
-        if len(out) > max_output:
-            raise CorruptFrameError("output exceeds max_output")
+            while True:
+                if pos >= n:
+                    raise CorruptFrameError("truncated LSIC length extension")
+                byte = blob[pos]
+                pos += 1
+                literal_len += byte
+                if byte != 255:
+                    break
+        if literal_len:
+            end = pos + literal_len
+            if end > n:
+                raise CorruptFrameError("literal run overflows input")
+            out += blob[pos:end]
+            pos = end
+            olen += literal_len
+            if olen > max_output:
+                raise CorruptFrameError("output exceeds max_output")
 
         if pos == n:
             break  # final sequence has no match part
@@ -257,15 +648,22 @@ def lz4_decompress(blob: bytes, max_output: int = 1 << 30) -> bytes:
         pos += 2
         if offset == 0:
             raise CorruptFrameError("match offset of zero")
-        if offset > len(out):
+        if offset > olen:
             raise CorruptFrameError("match offset reaches before output start")
 
-        match_len = (token & 0x0F) + MIN_MATCH
-        if (token & 0x0F) == 15:
-            extra, pos = _read_lsic(blob, pos)
-            match_len += extra
+        match_len = token & 0x0F
+        if match_len == 15:
+            while True:
+                if pos >= n:
+                    raise CorruptFrameError("truncated LSIC length extension")
+                byte = blob[pos]
+                pos += 1
+                match_len += byte
+                if byte != 255:
+                    break
+        match_len += MIN_MATCH
 
-        start = len(out) - offset
+        start = olen - offset
         if offset >= match_len:
             out += out[start : start + match_len]
         else:
@@ -275,7 +673,8 @@ def lz4_decompress(blob: bytes, max_output: int = 1 << 30) -> bytes:
             while len(chunk) < match_len:
                 chunk += chunk
             out += chunk[:match_len]
-        if len(out) > max_output:
+        olen += match_len
+        if olen > max_output:
             raise CorruptFrameError("output exceeds max_output")
 
     return bytes(out)

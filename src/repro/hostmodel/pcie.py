@@ -58,6 +58,9 @@ class PcieLink:
         # matching how PCIe bandwidth is normally reported.
         self.h2d_meter = BandwidthMeter(f"{name}.h2d")
         self.d2h_meter = BandwidthMeter(f"{name}.d2h")
+        # Rendered once: a DMA process is spawned per transfer leg.
+        self._read_name = f"{name}.read"
+        self._write_name = f"{name}.write"
 
     def attach_ledger(self, ledger: "FlowLedger") -> None:
         """Attach a byte-conservation ledger to both directions."""
@@ -66,11 +69,11 @@ class PcieLink:
 
     def dma_read(self, nbytes: int, priority: int = 0, flow: str | None = None) -> "Process":
         """Device reads `nbytes` of host memory; fires when all data arrived."""
-        return self.sim.process(self._dma_read(nbytes, priority, flow), name=f"{self.name}.read")
+        return self.sim.process(self._dma_read(nbytes, priority, flow), name=self._read_name)
 
     def dma_write(self, nbytes: int, priority: int = 0, flow: str | None = None) -> "Process":
         """Device writes `nbytes` into host memory; fires when posted upstream."""
-        return self.sim.process(self._dma_write(nbytes, priority, flow), name=f"{self.name}.write")
+        return self.sim.process(self._dma_write(nbytes, priority, flow), name=self._write_name)
 
     def _maybe_stall(self, direction: str) -> typing.Generator:
         """Honor an injected stall window before a leg in `direction`."""

@@ -22,6 +22,7 @@ from repro.net.link import NetworkPort
 from repro.net.message import Message
 from repro.params import NetworkSpec
 from repro.sim.events import Event, SimulationError
+from repro.sim.process import Process
 from repro.sim.resources import Store
 from repro.telemetry.metrics import Counter
 from repro.telemetry.registry import registry_for
@@ -77,6 +78,8 @@ class QueuePair:
         self._next_tx_seq = 0
         self._rx_next = 0
         self._rx_waiters: dict[int, Event] = {}
+        # Per-kind send-process names, rendered once (one spawn per message).
+        self._send_names: dict[str, str] = {}
 
     @property
     def peer(self) -> "QueuePair":
@@ -95,7 +98,11 @@ class QueuePair:
         message.dst = self.remote.address
         if message.created_at is None:
             message.created_at = self.sim.now
-        return self.sim.process(self._send(message), name=f"send:{message.kind}")
+        names = self._send_names
+        name = names.get(message.kind)
+        if name is None:
+            name = names[message.kind] = f"send:{message.kind}"
+        return Process(self.sim, self._send(message), name=name)
 
     def _send(self, message: Message) -> typing.Generator:
         spec = self.endpoint.spec

@@ -13,9 +13,12 @@ Rates are bytes/second; see :mod:`repro.units` for conversions.
 
 from __future__ import annotations
 
+import os
 import typing
 
-from repro.sim.events import SimulationError
+from heapq import heappush
+
+from repro.sim.events import Event, SimulationError, Timeout
 from repro.sim.process import Process
 from repro.sim.resources import Resource
 
@@ -41,6 +44,7 @@ class BandwidthServer:
         name: str = "pipe",
         lanes: int = 1,
         per_transfer_overhead: float = 0.0,
+        fast_path: bool | None = None,
     ) -> None:
         if rate <= 0:
             raise SimulationError(f"bandwidth rate must be positive, got {rate!r}")
@@ -55,6 +59,21 @@ class BandwidthServer:
         self._meters: list["BandwidthMeter"] = []
         self._ledgers: list["FlowLedger"] = []
         self.bytes_served = 0
+        if fast_path is None:
+            fast_path = os.environ.get("REPRO_BW_FAST_PATH", "1") != "0"
+        #: Whether uncontended transfers take the slot-free fast path
+        #: (analytic completion, one event). ``REPRO_BW_FAST_PATH=0``
+        #: turns it off globally for A/B equivalence runs.
+        self.fast_path = fast_path
+        # Lane-occupancy end times of in-flight fast-path transfers,
+        # reaped lazily at each decision point. Invariant: non-empty only
+        # while the slot queue is empty and in_use + len(...) <= lanes.
+        self._fast_busy: list[float] = []
+        self._xfer_name = f"xfer:{name}"
+        #: Fast-path / slow-path admission counters (diagnostics and the
+        #: perf harness's event-count micro-benchmark).
+        self.fast_transfers = 0
+        self.slow_transfers = 0
 
     @property
     def lane_rate(self) -> float:
@@ -68,8 +87,38 @@ class BandwidthServer:
 
     @property
     def busy_lanes(self) -> int:
-        """Lanes currently serving a transfer."""
-        return self._slots.in_use
+        """Lanes currently serving a transfer (slot-holding or fast-path)."""
+        self._reap()
+        return self._slots.in_use + len(self._fast_busy)
+
+    def _reap(self) -> None:
+        """Drop fast-path lane holds whose service already ended."""
+        busy = self._fast_busy
+        if busy:
+            now = self.sim._now
+            keep = [end for end in busy if end > now]
+            if len(keep) != len(busy):
+                busy[:] = keep
+
+    def _materialize(self) -> None:
+        """Convert fast-path lane holds into granted slot requests.
+
+        Called the moment a transfer needs the slow path: every in-flight
+        fast transfer claims a real slot (granted immediately — the fast
+        path only admits while lanes are free) and schedules its release
+        at its analytically known service end, so FIFO queueing behind it
+        is exactly what the all-slow-path discipline would produce.
+        """
+        sim = self.sim
+        now = sim._now
+        slots = self._slots
+        for end in self._fast_busy:
+            req = slots.request()
+            release = Timeout(sim, end - now)
+            release.callbacks.append(
+                lambda _event, _req=req: slots.release(_req)
+            )
+        self._fast_busy.clear()
 
     def attach_meter(self, meter: "BandwidthMeter") -> None:
         """Record every served byte into `meter` as well."""
@@ -97,7 +146,9 @@ class BandwidthServer:
         transfer's completion but does not occupy the lane (the pipe
         keeps serving others while earlier bits are in flight).
         """
-        return nbytes / self.lane_rate
+        # Same expression as both transfer paths, so the estimate is
+        # bit-identical to the simulated occupancy.
+        return nbytes * self.lanes / self.rate
 
     def transfer(
         self,
@@ -105,18 +156,82 @@ class BandwidthServer:
         priority: int = 0,
         meter: "BandwidthMeter | None" = None,
         flow: str | None = None,
-    ) -> Process:
-        """Start a transfer; the returned process fires when the last byte lands.
+    ) -> Event:
+        """Start a transfer; the returned event fires when the last byte lands.
 
         `flow` optionally tags the transfer with a flow id so attached
         :class:`~repro.sim.debug.FlowLedger` instances can account the
         bytes for end-to-end conservation checks.
+
+        Uncontended transfers (a lane free, nothing queued) take the
+        slot-free fast path: completion time is computed analytically and
+        a single event carries the service time, the per-transfer
+        overhead, and the byte accounting — no slot request/release, no
+        generator process. Contended transfers fall back to the exact
+        FIFO slow path; any fast-path transfers still in flight first
+        claim real slots (:meth:`_materialize`) so queueing order is
+        identical to an all-slow-path run. Both paths fire with the
+        transfer's byte count at the same simulated times and book the
+        same meter/ledger records.
         """
         if nbytes < 0:
             raise SimulationError(f"cannot transfer {nbytes} bytes")
-        return self.sim.process(
-            self._transfer(nbytes, priority, meter, flow), name=f"xfer:{self.name}"
+        self._reap()
+        slots = self._slots
+        if (
+            self.fast_path
+            and not slots._n_waiting
+            and slots._in_use + len(self._fast_busy) < self.lanes
+        ):
+            self.fast_transfers += 1
+            sim = self.sim
+            service = nbytes * self.lanes / self.rate
+            end = sim._now + service
+            self._fast_busy.append(end)
+            # Built field-by-field and pushed at an *absolute* time: the
+            # slow path fires its service timeout at ``now + service``
+            # and only then adds the overhead, so the completion instant
+            # is ``(now + service) + overhead`` — the same association
+            # must be used here or completion times differ in the last
+            # ulp and the fast/slow equivalence property breaks.
+            done = Timeout.__new__(Timeout)
+            done.sim = sim
+            done._name = self._xfer_name
+            done.callbacks = []
+            done._value = nbytes
+            done._ok = True
+            done._defused = False
+            done.delay = service + self.per_transfer_overhead
+            heappush(
+                sim._queue,
+                (end + self.per_transfer_overhead, next(sim._sequence), done),
+            )
+            # Booking runs before any waiter: the callback was appended
+            # before the caller could yield this event.
+            done.callbacks.append(
+                lambda _event: self._book(nbytes, meter, flow)
+            )
+            return done
+        if self._fast_busy:
+            self._materialize()
+        self.slow_transfers += 1
+        return Process(
+            self.sim, self._transfer(nbytes, priority, meter, flow), name=self._xfer_name
         )
+
+    def _book(
+        self, nbytes: int, meter: "BandwidthMeter | None", flow: str | None
+    ) -> None:
+        """Account a completed transfer (both paths, at completion time)."""
+        self.bytes_served += nbytes
+        now = self.sim.now
+        for attached in self._meters:
+            attached.record(now, nbytes)
+        if meter is not None:
+            meter.record(now, nbytes)
+        if flow is not None:
+            for ledger in self._ledgers:
+                ledger.record(self.name, flow, nbytes)
 
     def _transfer(
         self, nbytes: int, priority: int, meter: "BandwidthMeter | None", flow: str | None
@@ -124,17 +239,10 @@ class BandwidthServer:
         req = self._slots.request(priority)
         yield req
         try:
-            yield self.sim.timeout(self.service_time(nbytes))
+            yield Timeout(self.sim, nbytes * self.lanes / self.rate)
         finally:
             self._slots.release(req)
         if self.per_transfer_overhead > 0:
-            yield self.sim.timeout(self.per_transfer_overhead)
-        self.bytes_served += nbytes
-        for attached in self._meters:
-            attached.record(self.sim.now, nbytes)
-        if meter is not None:
-            meter.record(self.sim.now, nbytes)
-        if flow is not None:
-            for ledger in self._ledgers:
-                ledger.record(self.name, flow, nbytes)
+            yield Timeout(self.sim, self.per_transfer_overhead)
+        self._book(nbytes, meter, flow)
         return nbytes

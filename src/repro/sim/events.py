@@ -16,6 +16,7 @@ names are computed lazily: constructors store raw parts and the
 from __future__ import annotations
 
 import typing
+from heapq import heappush
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.kernel import Simulator
@@ -84,7 +85,13 @@ class Event:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.sim._schedule(self, delay)
+        if delay:
+            self.sim._schedule(self, delay)
+        else:
+            # Inlined zero-delay schedule — the overwhelmingly common
+            # case (resource grants, process starts, queue handoffs).
+            sim = self.sim
+            heappush(sim._queue, (sim._now, next(sim._sequence), self))
         return self
 
     def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
@@ -116,8 +123,8 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: typing.Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay!r}")
-        # Inline the Event constructor: timeouts are the single most
-        # frequent event, and the name is rendered lazily on demand.
+        # Inline the Event constructor and the schedule: timeouts are the
+        # single most frequent event, and the name is rendered lazily.
         self.sim = sim
         self._name = ""
         self.callbacks = []
@@ -125,7 +132,7 @@ class Timeout(Event):
         self._ok = True
         self._defused = False
         self.delay = delay
-        sim._schedule(self, delay)
+        heappush(sim._queue, (sim._now + delay, next(sim._sequence), self))
 
     @property
     def name(self) -> str:

@@ -8,9 +8,10 @@ world with :meth:`Simulator.run`.
 
 from __future__ import annotations
 
+import math
 import typing
 import weakref
-from heapq import heappop, heappush
+from heapq import heapify, heappop, heappush
 from itertools import count
 
 from repro.sim.events import AllOf, AnyOf, Event, SimulationError, Timeout
@@ -64,8 +65,16 @@ class Simulator:
         self._tracers: list[typing.Any] = []  # see repro.sim.trace
         # Weak registries of model objects, per category ("resource",
         # "store", "process", "ledger"). Consumed by repro.sim.debug's
-        # DrainAuditor; model code never reads these.
+        # DrainAuditor; model code never reads these. Processes — the
+        # hottest tracked constructor by orders of magnitude — go into a
+        # plain list of bare weakrefs instead of a WeakSet: appending a
+        # callbackless weakref is several times cheaper than a WeakSet
+        # add, and tracked() filters dead refs on the (rare) read side.
+        self._process_refs: list[weakref.ref] = []
         self._tracked: dict[str, weakref.WeakSet] = {}
+        # Shared fluid-window timeouts keyed by quantized fire time
+        # (see fluid_timeout); entries remove themselves on firing.
+        self._fluid: dict[float, Timeout] = {}
         # Observability attach points (see repro.telemetry.spans and
         # .registry): None means untraced, the common case — every
         # instrumentation site guards on that before doing any work.
@@ -94,6 +103,73 @@ class Simulator:
     def timeout(self, delay: float, value: typing.Any = None) -> Timeout:
         """Create an event that fires `delay` seconds from now."""
         return Timeout(self, delay, value)
+
+    def timeout_batch(
+        self, delays: typing.Iterable[float], value: typing.Any = None
+    ) -> list[Timeout]:
+        """Create one timeout per delay, scheduled in a single heap pass.
+
+        The schedule-many primitive for fan-out storms (replication
+        arms, cache-fill chunks, per-block completions): for large
+        batches the queue is extended and re-heapified once — O(queue) —
+        instead of paying one O(log queue) sift per event. Semantically
+        identical to ``[self.timeout(d, value) for d in delays]``,
+        including relative ordering (sequence numbers are assigned in
+        input order).
+        """
+        queue = self._queue
+        now = self._now
+        sequence = self._sequence
+        events = []
+        entries = []
+        for delay in delays:
+            if delay < 0:
+                raise SimulationError(f"negative timeout delay {delay!r}")
+            event = Timeout.__new__(Timeout)
+            event.sim = self
+            event._name = ""
+            event.callbacks = []
+            event._value = value
+            event._ok = True
+            event._defused = False
+            event.delay = delay
+            events.append(event)
+            entries.append((now + delay, next(sequence), event))
+        # k pushes cost ~k*log2(n); one heapify costs ~n comparisons.
+        if len(entries) * max(1, len(queue).bit_length()) > len(queue):
+            queue.extend(entries)
+            heapify(queue)
+        else:
+            for entry in entries:
+                heappush(queue, entry)
+        return events
+
+    def fluid_timeout(self, delay: float, window: float, value: typing.Any = None) -> Timeout:
+        """A shared timeout, quantized *up* to the end of a `window` slot.
+
+        Every caller whose requested fire time (``now + delay``) lands in
+        the same window slot gets the *same* event object — one heap
+        entry for an entire storm of co-expiring waits — at the cost of
+        firing up to `window` late. Use only where the exact interleaving
+        of completions inside one window provably does not matter (e.g.
+        homogeneous fan-out arms all awaited together); anything that
+        feeds back into queueing decisions must use :meth:`timeout`.
+
+        The shared `value` is delivered to every waiter, so per-waiter
+        values are not supported; entries clean themselves out of the
+        bucket table when they fire.
+        """
+        if window <= 0:
+            raise SimulationError(f"fluid window must be positive, got {window!r}")
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        bucket = math.ceil((self._now + delay) / window) * window
+        event = self._fluid.get(bucket)
+        if event is None:
+            event = Timeout(self, bucket - self._now, value)
+            self._fluid[bucket] = event
+            event.callbacks.append(lambda _event, _key=bucket: self._fluid.pop(_key, None))
+        return event
 
     def process(self, generator: typing.Generator, name: str = "", daemon: bool = False) -> Process:
         """Wrap a generator as a running process; it starts at the current time.
@@ -131,6 +207,11 @@ class Simulator:
 
     def tracked(self, category: str) -> tuple:
         """Live tracked objects of `category` ("resource", "store", ...)."""
+        if category == "process":
+            live = [proc for ref in self._process_refs if (proc := ref()) is not None]
+            if len(live) < len(self._process_refs):
+                self._process_refs = [weakref.ref(proc) for proc in live]
+            return tuple(live)
         registry = self._tracked.get(category)
         return tuple(registry) if registry is not None else ()
 
@@ -151,21 +232,27 @@ class Simulator:
             # A failure nobody waited on: surface it instead of losing it.
             self._unhandled.append(typing.cast(BaseException, event._value))
         if self._unhandled:
-            # Several processes may fail within one step (e.g. one event
-            # resumes many waiters). Raise the first but keep the others
-            # attached so no failure is silently lost.
-            exc = self._unhandled[0]
-            siblings = tuple(self._unhandled[1:])
-            self._unhandled.clear()
-            if hasattr(exc, "add_note"):  # PEP 678, Python 3.11+
-                for other in siblings:
-                    exc.add_note(f"also unhandled in the same step: {other!r}")
-            if siblings:
-                try:
-                    exc.concurrent_failures = siblings  # type: ignore[attr-defined]
-                except (AttributeError, TypeError):  # exceptions with __slots__
-                    pass
-            raise exc
+            self._raise_unhandled()
+
+    def _raise_unhandled(self) -> typing.NoReturn:
+        """Raise the first pending unhandled failure, attaching the rest.
+
+        Several processes may fail within one step (e.g. one event
+        resumes many waiters). Raise the first but keep the others
+        attached so no failure is silently lost.
+        """
+        exc = self._unhandled[0]
+        siblings = tuple(self._unhandled[1:])
+        self._unhandled.clear()
+        if hasattr(exc, "add_note"):  # PEP 678, Python 3.11+
+            for other in siblings:
+                exc.add_note(f"also unhandled in the same step: {other!r}")
+        if siblings:
+            try:
+                exc.concurrent_failures = siblings  # type: ignore[attr-defined]
+            except (AttributeError, TypeError):  # exceptions with __slots__
+                pass
+        raise exc
 
     def run(self, until: float | Event | None = None) -> typing.Any:
         """Run until the queue drains, a deadline passes, or an event fires.
@@ -183,18 +270,90 @@ class Simulator:
                 raise SimulationError(f"deadline {deadline!r} is in the past (now={self._now!r})")
 
         if stop_event is None and deadline is None:
-            # Drain mode: no per-step termination checks needed.
-            step = self.step
-            while self._queue:
-                step()
+            # Drain mode: no per-step termination checks needed, so the
+            # body of step() is inlined here with the queue, heappop, and
+            # tracer list held in locals — the per-event method call and
+            # attribute traffic are measurable at millions of events.
+            # The step counter is accumulated locally and folded back in
+            # a finally block (nothing reads it mid-callback).
+            queue = self._queue
+            pop = heappop
+            tracers = self._tracers
+            unhandled = self._unhandled
+            processed = 0
+            try:
+                while queue:
+                    when, _seq, event = pop(queue)
+                    self._now = when
+                    processed += 1
+                    if tracers:
+                        for tracer in tracers:
+                            tracer._record(when, event)
+                    callbacks, event.callbacks = event.callbacks, None  # type: ignore[assignment]
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        unhandled.append(typing.cast(BaseException, event._value))
+                    if unhandled:
+                        self._raise_unhandled()
+            finally:
+                self._steps += processed
+        elif deadline is None:
+            # Stop-event mode: same inlined dispatch with only the
+            # stop-event check in the loop head (experiments run in the
+            # until-modes, so they are just as hot as drain mode; the
+            # loops are specialized per mode to keep the head minimal).
+            queue = self._queue
+            pop = heappop
+            tracers = self._tracers
+            unhandled = self._unhandled
+            processed = 0
+            try:
+                while queue:
+                    if stop_event.callbacks is None:  # processed
+                        break
+                    when, _seq, event = pop(queue)
+                    self._now = when
+                    processed += 1
+                    if tracers:
+                        for tracer in tracers:
+                            tracer._record(when, event)
+                    callbacks, event.callbacks = event.callbacks, None  # type: ignore[assignment]
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        unhandled.append(typing.cast(BaseException, event._value))
+                    if unhandled:
+                        self._raise_unhandled()
+            finally:
+                self._steps += processed
         else:
-            while self._queue:
-                if stop_event is not None and stop_event.callbacks is None:  # processed
-                    break
-                if deadline is not None and self._queue[0][0] > deadline:
-                    self._now = deadline
-                    return None
-                self.step()
+            # Deadline mode: only the next-event-past-deadline check.
+            queue = self._queue
+            pop = heappop
+            tracers = self._tracers
+            unhandled = self._unhandled
+            processed = 0
+            try:
+                while queue:
+                    if queue[0][0] > deadline:
+                        self._now = deadline
+                        return None
+                    when, _seq, event = pop(queue)
+                    self._now = when
+                    processed += 1
+                    if tracers:
+                        for tracer in tracers:
+                            tracer._record(when, event)
+                    callbacks, event.callbacks = event.callbacks, None  # type: ignore[assignment]
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        unhandled.append(typing.cast(BaseException, event._value))
+                    if unhandled:
+                        self._raise_unhandled()
+            finally:
+                self._steps += processed
 
         if stop_event is not None:
             if not stop_event.triggered:

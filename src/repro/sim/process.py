@@ -11,8 +11,11 @@ processes can wait on each other.
 from __future__ import annotations
 
 import typing
+from heapq import heappush
+from types import GeneratorType
+from weakref import ref
 
-from repro.sim.events import Event, SimulationError
+from repro.sim.events import _PENDING, Event, SimulationError
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.kernel import Simulator
@@ -39,26 +42,45 @@ class Process(Event):
         name: str = "",
         daemon: bool = False,
     ) -> None:
-        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+        if type(generator) is not GeneratorType and (
+            not hasattr(generator, "send") or not hasattr(generator, "throw")
+        ):
             raise SimulationError(f"process body must be a generator, got {generator!r}")
-        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        # Inlined Event.__init__: processes are created on every request /
+        # transfer / fan-out arm, so constructor cost is macro-visible.
+        self.sim = sim
+        self._name = name or getattr(generator, "__name__", "process")
+        self.callbacks: list[typing.Callable[[Event], None]] = []
+        self._value = _PENDING
+        self._ok = True
+        self._defused = False
         self._generator = generator
         self._waiting_on: Event | None = None
-        # Poke events are created on every resume from an already-fired
-        # event; render the name once instead of per resume.
-        self._poke_name = "poke:" + self.name
+        # Poke events are created on resume from an already-fired event;
+        # the name is rendered once, lazily, on the first poke.
+        self._poke_name: str | None = None
         #: Daemon processes are service loops expected to outlive the
         #: workload; the drain auditor does not report them as stuck.
         self.daemon = daemon
-        track = getattr(sim, "_track", None)
-        if track is not None:
-            track("process", self)
+        refs = getattr(sim, "_process_refs", None)
+        if refs is not None:
+            refs.append(ref(self))
+            # Amortized compaction bound for very long-running sims; the
+            # auditor-side read (Simulator.tracked) also compacts.
+            if len(refs) > 1_000_000:
+                sim._process_refs = [r for r in refs if r() is not None]
         # Kick the process off via an immediately-succeeding event so that
         # creation order equals start order and creation itself cannot raise
-        # model exceptions.
-        start = Event(sim, name="start:" + self.name)
-        start.callbacks.append(self._resume)
-        start.succeed()
+        # model exceptions. Built field-by-field: this start event and its
+        # zero-delay schedule are pure kernel overhead otherwise.
+        start = Event.__new__(Event)
+        start.sim = sim
+        start._name = "start"
+        start.callbacks = [self._resume]
+        start._value = None
+        start._ok = True
+        start._defused = False
+        heappush(sim._queue, (sim._now, next(sim._sequence), start))
 
     @property
     def is_alive(self) -> bool:
@@ -91,7 +113,12 @@ class Process(Event):
                 event._defused = True
                 target = self._generator.throw(typing.cast(BaseException, event._value))
         except StopIteration as stop:
-            self.succeed(stop.value)
+            # Inlined self.succeed(stop.value): the generator just
+            # returned, so the process cannot already be triggered and
+            # _ok is still True.
+            self._value = stop.value
+            sim = self.sim
+            heappush(sim._queue, (sim._now, next(sim._sequence), self))
             return
         except BaseException as exc:  # noqa: BLE001 - model errors must surface
             if self.callbacks:
@@ -109,13 +136,21 @@ class Process(Event):
                 f"process {self.name!r} yielded {target!r}; processes may only yield events"
             )
         if target.callbacks is None:  # processed
-            # Already-fired event: resume on the next kernel step.
-            poke = Event(self.sim, name=self._poke_name)
-            poke.callbacks.append(self._resume)
-            if target._ok:
-                poke.succeed(target._value)
-            else:
-                poke.fail(typing.cast(BaseException, target._value))
+            # Already-fired event: resume on the next kernel step via a
+            # poke event carrying the target's outcome (built inline —
+            # this sits on the resume hot path).
+            poke = Event.__new__(Event)
+            sim = self.sim
+            poke.sim = sim
+            name = self._poke_name
+            if name is None:
+                name = self._poke_name = "poke:" + self._name
+            poke._name = name
+            poke.callbacks = [self._resume]
+            poke._value = target._value
+            poke._ok = target._ok
+            poke._defused = False
+            heappush(sim._queue, (sim._now, next(sim._sequence), poke))
             self._waiting_on = poke
         else:
             target.callbacks.append(self._resume)

@@ -15,7 +15,7 @@ import typing
 from collections import deque
 from heapq import heapify, heappop, heappush
 
-from repro.sim.events import Event, SimulationError
+from repro.sim.events import _PENDING, Event, SimulationError
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.kernel import Simulator
@@ -27,7 +27,14 @@ class Request(Event):
     __slots__ = ("resource", "priority", "_entry")
 
     def __init__(self, resource: "Resource", priority: int) -> None:
-        super().__init__(resource.sim, name=resource._request_name)
+        # Inlined Event.__init__: a request is created per resource
+        # acquisition, which is macro-visible on the kernel hot path.
+        self.sim = resource.sim
+        self._name = resource._request_name
+        self.callbacks: list[typing.Callable[[Event], None]] = []
+        self._value: typing.Any = _PENDING
+        self._ok = True
+        self._defused = False
         self.resource = resource
         self.priority = priority
         # The waiter-heap entry carrying this request, or None while the
@@ -88,7 +95,11 @@ class Resource:
         req = Request(self, priority)
         if self._in_use < self.capacity and not self._n_waiting:
             self._in_use += 1
-            req.succeed(req)
+            # Inlined req.succeed(req): freshly created, so it cannot
+            # already be triggered and _ok is True by construction.
+            req._value = req
+            sim = self.sim
+            heappush(sim._queue, (sim._now, next(sim._sequence), req))
         else:
             entry = [priority, self._seq, req]
             self._seq += 1
@@ -129,7 +140,11 @@ class Resource:
             nxt._entry = None
             self._n_waiting -= 1
             self._in_use += 1
-            nxt.succeed(nxt)
+            # Inlined nxt.succeed(nxt): queued requests are untriggered
+            # (the triggered branch above handles granted ones).
+            nxt._value = nxt
+            sim = self.sim
+            heappush(sim._queue, (sim._now, next(sim._sequence), nxt))
         elif self._waiting:
             self._waiting.clear()  # only dead entries remained
 

@@ -44,14 +44,17 @@ class BlockDevice:
         self.read_meter = BandwidthMeter(f"{name}.read")
         self.writes = Counter(f"{name}.writes")
         self.reads = Counter(f"{name}.reads")
+        # Rendered once: an I/O process is spawned per device operation.
+        self._w_name = f"{name}.w"
+        self._r_name = f"{name}.r"
 
     def write(self, nbytes: int) -> "Process":
         """Persist `nbytes`; fires when the device acknowledges durability."""
-        return self.sim.process(self._io(nbytes, self.write_latency, True), name=f"{self.name}.w")
+        return self.sim.process(self._io(nbytes, self.write_latency, True), name=self._w_name)
 
     def read(self, nbytes: int) -> "Process":
         """Fetch `nbytes`; fires when the data is in the server's buffer."""
-        return self.sim.process(self._io(nbytes, self.read_latency, False), name=f"{self.name}.r")
+        return self.sim.process(self._io(nbytes, self.read_latency, False), name=self._r_name)
 
     def _io(self, nbytes: int, latency: float, is_write: bool) -> typing.Generator:
         if nbytes < 0:

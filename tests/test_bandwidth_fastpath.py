@@ -1,0 +1,207 @@
+"""Fast/slow-path equivalence for the slot-free BandwidthServer fast path.
+
+The slot-free fast path must be a pure implementation detail: for any
+schedule of transfers — uncontended, bursty, prioritized, with or
+without per-transfer overhead — completion times, transfer values,
+meter contents, and FlowLedger booking must be bit-identical with the
+fast path forced off versus on. These tests drive seeded randomized
+contention schedules through both configurations and compare every
+observable, including sweeps over the same seeds an experiment's
+``REPRO_FAULT_SEED`` fault plans draw from.
+"""
+
+import random
+
+import pytest
+
+from repro.sim.bandwidth import BandwidthServer
+from repro.sim.debug import FlowLedger
+from repro.sim.kernel import Simulator
+from repro.telemetry.metrics import BandwidthMeter
+
+
+def _run_schedule(
+    fast_path: bool,
+    seed: int,
+    lanes: int = 2,
+    overhead: float = 0.0,
+    producers: int = 4,
+    transfers: int = 60,
+    max_gap: float = 2e-6,
+):
+    """Drive a randomized transfer schedule; returns every observable."""
+    sim = Simulator()
+    pipe = BandwidthServer(
+        sim,
+        rate=8e9,
+        name="pipe",
+        lanes=lanes,
+        per_transfer_overhead=overhead,
+        fast_path=fast_path,
+    )
+    meter = BandwidthMeter("shared")
+    ledger = FlowLedger(name="ledger")
+    pipe.attach_meter(meter)
+    pipe.attach_ledger(ledger)
+    completions = []
+
+    def producer(pid: int):
+        rng = random.Random(seed * 1009 + pid)
+        for i in range(transfers):
+            gap = rng.choice([0.0, rng.random() * max_gap])
+            if gap:
+                yield sim.timeout(gap)
+            nbytes = rng.randrange(64, 65536)
+            value = yield pipe.transfer(
+                nbytes, priority=rng.randrange(-2, 3), flow=f"flow{pid}"
+            )
+            completions.append((pid, i, sim.now, value))
+
+    for pid in range(producers):
+        sim.process(producer(pid), name=f"producer{pid}")
+    sim.run()
+    return {
+        "completions": sorted(completions),
+        "bytes_served": pipe.bytes_served,
+        "meter": (meter.total_bytes, meter.events, meter.first_event, meter.last_event),
+        "ledger": ledger._cells,
+        "final_time": sim.now,
+    }
+
+
+class TestFastPathEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 7, 23, 1234])
+    def test_randomized_contention_is_bit_identical(self, seed):
+        off = _run_schedule(fast_path=False, seed=seed)
+        on = _run_schedule(fast_path=True, seed=seed)
+        assert on == off
+
+    @pytest.mark.parametrize("seed", [3, 11, 42])
+    def test_equivalence_with_per_transfer_overhead(self, seed):
+        # Overhead delays completion but must not occupy the lane; the
+        # fast path folds it into its single event.
+        off = _run_schedule(fast_path=False, seed=seed, overhead=5e-7)
+        on = _run_schedule(fast_path=True, seed=seed, overhead=5e-7)
+        assert on == off
+
+    @pytest.mark.parametrize("seed", [5, 17])
+    def test_equivalence_single_lane_heavy_contention(self, seed):
+        # One lane and zero gaps: almost every transfer queues, so the
+        # fast path admits rarely and materialization must hand exact
+        # FIFO state to the slow path.
+        off = _run_schedule(
+            fast_path=False, seed=seed, lanes=1, producers=6, max_gap=2e-7
+        )
+        on = _run_schedule(
+            fast_path=True, seed=seed, lanes=1, producers=6, max_gap=2e-7
+        )
+        assert on == off
+
+    def test_priority_burst_orders_identically(self):
+        # A simultaneous burst with distinct priorities: the first
+        # transfer may take the fast path, the rest queue by priority.
+        # Grant order (hence completion order) must match the slow path.
+        def run(fast_path: bool):
+            sim = Simulator()
+            pipe = BandwidthServer(sim, rate=1e9, lanes=1, fast_path=fast_path)
+            order = []
+
+            def one(tag: str, priority: int):
+                yield pipe.transfer(4096, priority=priority)
+                order.append((tag, sim.now))
+
+            for tag, priority in [("a", 2), ("b", -1), ("c", 0), ("d", -2)]:
+                sim.process(one(tag, priority))
+            sim.run()
+            return order
+
+        assert run(True) == run(False)
+
+    @pytest.mark.parametrize("seed", [11, 23, 37])
+    def test_fault_seed_style_sweep(self, seed, monkeypatch):
+        # The same seeds CI's chaos matrix passes via REPRO_FAULT_SEED:
+        # equivalence must hold for every seeded schedule, not a lucky
+        # one. The env var is set for fidelity with that harness even
+        # though the schedule derives from the seed directly.
+        monkeypatch.setenv("REPRO_FAULT_SEED", str(seed))
+        off = _run_schedule(
+            fast_path=False, seed=seed, lanes=3, producers=5, overhead=1e-7
+        )
+        on = _run_schedule(
+            fast_path=True, seed=seed, lanes=3, producers=5, overhead=1e-7
+        )
+        assert on == off
+
+
+class TestFastPathMechanics:
+    def test_uncontended_event_reduction_is_at_least_3x(self):
+        def drive(fast_path: bool) -> int:
+            sim = Simulator()
+            pipe = BandwidthServer(
+                sim, rate=1e9, per_transfer_overhead=1e-6, fast_path=fast_path
+            )
+
+            def body():
+                for _ in range(100):
+                    yield pipe.transfer(4096)
+
+            sim.process(body())
+            sim.run()
+            return sim.steps
+
+        slow = drive(False)
+        fast = drive(True)
+        assert slow / fast >= 3.0, f"only {slow / fast:.2f}x fewer events"
+
+    def test_fast_path_counters_and_busy_lanes(self):
+        sim = Simulator()
+        pipe = BandwidthServer(sim, rate=1e9, lanes=2, fast_path=True)
+
+        def body():
+            done = pipe.transfer(1000)
+            assert pipe.fast_transfers == 1
+            assert pipe.busy_lanes == 1
+            yield done
+            # Service ended; the lazy reap must drop the lane hold.
+            assert pipe.busy_lanes == 0
+
+        sim.process(body())
+        sim.run()
+        assert pipe.slow_transfers == 0
+        assert pipe.bytes_served == 1000
+
+    def test_env_flag_disables_fast_path(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BW_FAST_PATH", "0")
+        sim = Simulator()
+        pipe = BandwidthServer(sim, rate=1e9)
+        assert pipe.fast_path is False
+        monkeypatch.setenv("REPRO_BW_FAST_PATH", "1")
+        assert BandwidthServer(sim, rate=1e9).fast_path is True
+        # An explicit constructor argument beats the environment.
+        assert BandwidthServer(sim, rate=1e9, fast_path=True).fast_path is True
+
+    def test_materialization_preserves_lane_accounting(self):
+        # Saturate both lanes via the fast path, then queue a third
+        # transfer: materialization converts the holds to real slots and
+        # the queued transfer starts exactly when a lane frees.
+        sim = Simulator()
+        pipe = BandwidthServer(sim, rate=2e9, lanes=2, fast_path=True)
+        finished = []
+
+        def body():
+            first = pipe.transfer(2000)  # fast, lane 0
+            second = pipe.transfer(4000)  # fast, lane 1
+            third = pipe.transfer(2000)  # queues -> materializes holds
+            assert pipe.slow_transfers == 1
+            assert pipe.busy_lanes == 2
+            yield first
+            yield second
+            yield third
+            finished.append(sim.now)
+
+        sim.process(body())
+        sim.run()
+        # lane rate is 1e9 B/s: first ends at 2us, third starts then and
+        # ends at 4us; second ends at 4us as well.
+        assert finished == [pytest.approx(4e-6)]
+        assert pipe.bytes_served == 8000

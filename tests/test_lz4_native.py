@@ -1,0 +1,90 @@
+"""Optional native LZ4 backend: gating, fidelity, and ratio parity.
+
+The native backend (the ``lz4`` PyPI package's block API) is an opt-in
+accelerator behind ``REPRO_LZ4_NATIVE=1``; pure Python remains the
+default and the fidelity reference. When the package is installed the
+native output must round-trip byte-exactly through the *pure*
+``lz4_decompress`` (same block format) and corpus compression ratios
+must stay within 2% of the pure codec. Without the package the flag
+must fall back to the pure paths silently.
+"""
+
+import pytest
+
+from repro.compression.corpus import SilesiaLikeCorpus
+from repro.compression.lz4 import (
+    lz4_compress,
+    lz4_decompress,
+    native_backend_available,
+)
+
+needs_native = pytest.mark.skipif(
+    not native_backend_available(), reason="lz4 PyPI package not installed"
+)
+
+
+def _corpus_blocks(block_size: int = 4096) -> list[bytes]:
+    files = list(SilesiaLikeCorpus().files())
+    return [
+        f.data[i : i + block_size]
+        for f in files
+        for i in range(0, len(f.data), block_size)
+    ]
+
+
+class TestGating:
+    def test_flag_off_means_pure_python(self, monkeypatch):
+        # Without the env flag the native module must not be consulted,
+        # installed or not: output is the pure codec's, byte for byte.
+        monkeypatch.delenv("REPRO_LZ4_NATIVE", raising=False)
+        data = b"the quick brown fox " * 300
+        pure = lz4_compress(data)
+        monkeypatch.setenv("REPRO_LZ4_NATIVE", "0")
+        assert lz4_compress(data) == pure
+
+    def test_flag_without_package_falls_back(self, monkeypatch):
+        # REPRO_LZ4_NATIVE=1 with no package installed must silently use
+        # the pure codec (containers without the wheel keep working).
+        if native_backend_available():
+            pytest.skip("native backend installed; fallback not reachable")
+        monkeypatch.setenv("REPRO_LZ4_NATIVE", "1")
+        data = b"fallback path " * 500
+        blob = lz4_compress(data)
+        assert lz4_decompress(blob) == data
+
+    def test_stats_hook_stays_pure(self, monkeypatch):
+        # The _stats diagnostic hook is only meaningful for the pure
+        # scan; requesting it must bypass the native delegation.
+        monkeypatch.setenv("REPRO_LZ4_NATIVE", "1")
+        stats: dict = {}
+        blob = lz4_compress(b"stats stay pure " * 400, _stats=stats)
+        assert stats["table_slots"] > 0
+        assert lz4_decompress(blob) == b"stats stay pure " * 400
+
+
+@needs_native
+class TestNativeFidelity:
+    def test_round_trips_corpus_byte_exactly(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LZ4_NATIVE", "1")
+        for block in _corpus_blocks():
+            blob = lz4_compress(block)
+            assert lz4_decompress(blob) == block
+
+    def test_ratios_within_2_percent_of_pure(self, monkeypatch):
+        blocks = _corpus_blocks()
+        monkeypatch.setenv("REPRO_LZ4_NATIVE", "0")
+        pure_total = sum(len(lz4_compress(b)) for b in blocks)
+        monkeypatch.setenv("REPRO_LZ4_NATIVE", "1")
+        native_total = sum(len(lz4_compress(b)) for b in blocks)
+        raw = sum(len(b) for b in blocks)
+        pure_ratio = raw / pure_total
+        native_ratio = raw / native_total
+        assert abs(native_ratio - pure_ratio) / pure_ratio <= 0.02, (
+            f"native ratio {native_ratio:.4f} vs pure {pure_ratio:.4f} "
+            "diverges by more than 2%"
+        )
+
+    def test_empty_and_tiny_inputs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LZ4_NATIVE", "1")
+        for data in (b"", b"a", b"abc", b"x" * 64):
+            assert lz4_decompress(lz4_compress(data)) == data

@@ -1,0 +1,170 @@
+"""Batched scheduling primitives: ``timeout_batch`` and ``fluid_timeout``.
+
+``timeout_batch`` must be semantically identical to a loop of
+``sim.timeout`` calls — same firing times, same relative order — while
+scheduling large storms through one heapify. ``fluid_timeout`` shares
+one event per (window-aligned) bucket among every caller, the opt-in
+coalescing mode for periodic work where interleaving doesn't matter.
+"""
+
+import pytest
+
+from repro.sim.events import SimulationError, Timeout
+from repro.sim.kernel import Simulator
+from repro.telemetry.registry import MetricsRegistry
+
+
+class TestTimeoutBatch:
+    def test_matches_individual_timeouts(self):
+        delays = [3e-6, 1e-6, 2e-6, 1e-6, 0.0, 5e-6]
+
+        def drive(batched: bool):
+            sim = Simulator()
+            fired = []
+            if batched:
+                events = sim.timeout_batch(delays, value="v")
+            else:
+                events = [sim.timeout(d, "v") for d in delays]
+            for index, event in enumerate(events):
+                event.callbacks.append(
+                    lambda e, index=index: fired.append((sim.now, index, e.value))
+                )
+            sim.run()
+            return fired, sim.steps
+
+        assert drive(True) == drive(False)
+
+    def test_large_batch_heapifies_and_preserves_order(self):
+        # Large enough that the heapify branch triggers (batch bigger
+        # than log-cost threshold vs the existing queue).
+        sim = Simulator()
+        events = sim.timeout_batch([i * 1e-9 for i in range(5000)])
+        assert len(events) == 5000
+        fired = []
+        events[0].callbacks.append(lambda e: fired.append("first"))
+        events[-1].callbacks.append(lambda e: fired.append("last"))
+        sim.run()
+        assert fired == ["first", "last"]
+        assert sim.steps == 5000
+
+    def test_ties_fire_in_input_order(self):
+        sim = Simulator()
+        fired = []
+        for index, event in enumerate(sim.timeout_batch([1e-6] * 8)):
+            event.callbacks.append(lambda e, index=index: fired.append(index))
+        sim.run()
+        assert fired == list(range(8))
+
+    def test_small_batch_onto_large_queue_uses_heappush(self):
+        # A few entries against a big queue must not pay O(queue)
+        # heapify; semantics are the same either way.
+        sim = Simulator()
+        for i in range(4000):
+            sim.timeout(1e-3 + i * 1e-9)
+        early = sim.timeout_batch([1e-6, 2e-6])
+        seen = []
+        for event in early:
+            event.callbacks.append(lambda e: seen.append(sim.now))
+        sim.run(until=1e-4)
+        assert seen == [pytest.approx(1e-6), pytest.approx(2e-6)]
+
+    def test_negative_delay_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.timeout_batch([1e-6, -1e-9])
+
+    def test_returns_timeouts(self):
+        sim = Simulator()
+        (event,) = sim.timeout_batch([1e-6], value=42)
+        assert isinstance(event, Timeout)
+        sim.run()
+        assert event.value == 42
+
+
+class TestFluidTimeout:
+    def test_same_bucket_shares_one_event(self):
+        sim = Simulator()
+        a = sim.fluid_timeout(0.9e-3, window=1e-3)
+        b = sim.fluid_timeout(0.5e-3, window=1e-3)
+        assert a is b  # both round up to the 1ms boundary
+        sim.run()
+        assert sim.now == pytest.approx(1e-3)
+        assert sim.steps == 1
+
+    def test_distinct_buckets_get_distinct_events(self):
+        sim = Simulator()
+        a = sim.fluid_timeout(0.5e-3, window=1e-3)
+        b = sim.fluid_timeout(1.5e-3, window=1e-3)
+        assert a is not b
+        sim.run()
+        assert sim.steps == 2
+
+    def test_bucket_cleans_up_after_firing(self):
+        sim = Simulator()
+        first = sim.fluid_timeout(1e-3, window=1e-3)
+        sim.run()
+        assert not sim._fluid  # registry empty: no leak across buckets
+        again = sim.fluid_timeout(1e-3, window=1e-3)
+        assert again is not first
+
+    def test_waiting_processes_all_resume(self):
+        sim = Simulator()
+        woke = []
+
+        def sleeper(tag):
+            yield sim.fluid_timeout(0.7e-3, window=1e-3)
+            woke.append((tag, sim.now))
+
+        for tag in "abc":
+            sim.process(sleeper(tag))
+        sim.run()
+        assert woke == [(t, pytest.approx(1e-3)) for t in "abc"]
+
+    def test_invalid_arguments_raise(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.fluid_timeout(1e-3, window=0.0)
+        with pytest.raises(SimulationError):
+            sim.fluid_timeout(-1e-3, window=1e-3)
+
+
+class TestFluidSampler:
+    def test_samplers_share_tick_events(self, monkeypatch):
+        # Two registries sampling the same period: fluid mode coalesces
+        # their ticks onto shared window boundaries (one timeout per
+        # tick), and both still record the full sample series.
+        def drive() -> tuple[int, int, int]:
+            sim = Simulator()
+            first = MetricsRegistry(name="first").attach(sim)
+            second = MetricsRegistry(name="second").attach(sim)
+            first.start_sampler(sim, interval=1e-3)
+            second.start_sampler(sim, interval=1e-3)
+            sim.timeout(10.5e-3)  # workload keeping the queue non-empty
+            # Deadline, not drain: two samplers keep each other's
+            # timeouts in the queue, so drain mode would never stop.
+            sim.run(until=9.5e-3)
+            return sim.steps, len(first.samples()), len(second.samples())
+
+        monkeypatch.delenv("REPRO_FLUID_SAMPLER", raising=False)
+        exact_steps, exact_first, exact_second = drive()
+        monkeypatch.setenv("REPRO_FLUID_SAMPLER", "1")
+        fluid_steps, fluid_first, fluid_second = drive()
+        assert fluid_first == exact_first
+        assert fluid_second == exact_second
+        assert fluid_steps < exact_steps  # shared ticks -> fewer events
+
+    def test_idle_sim_drains_in_fluid_mode(self, monkeypatch):
+        # On an *idle* sim, exact samplers keep each other alive forever
+        # (each one's next tick defeats the others' idle-exit check —
+        # hence the deadline above). Sharing the tick removes that
+        # mutual keep-alive: every sampler takes the idle exit within a
+        # couple of ticks and a drain-mode run terminates.
+        monkeypatch.setenv("REPRO_FLUID_SAMPLER", "1")
+        sim = Simulator()
+        first = MetricsRegistry(name="first").attach(sim)
+        second = MetricsRegistry(name="second").attach(sim)
+        first.start_sampler(sim, interval=1e-3)
+        second.start_sampler(sim, interval=1e-3)
+        sim.run()  # drain mode: must terminate
+        assert sim.now <= 3e-3  # exits within a couple of ticks
+        assert first.samples() and second.samples()
